@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+section.  They share one :class:`~repro.core.ExperimentHarness` per pytest
+session so each deployment (stand-alone / sharded, small / large scale) is
+loaded and denormalized exactly once.
+
+Scale control
+-------------
+By default the harness uses the reproduction's standard scales (the paper's
+1 GB / 5 GB datasets reduced by 1/1000).  Set ``REPRO_BENCH_SCALE=tiny`` to
+run the whole suite on very small data (useful for smoke-testing the
+benchmark code itself), or ``REPRO_BENCH_SCALE=full`` for the standard size.
+
+Artifacts
+---------
+Every benchmark renders the table or figure it reproduces into
+``benchmarks/results/`` so the numbers can be compared with the paper after
+a run (this populates EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import ExperimentHarness, tiny_profile
+
+RESULTS_DIRECTORY = pathlib.Path(__file__).parent / "results"
+
+#: Shared cache of measured query runtimes: {(experiment, query): seconds}.
+MEASURED_RUNTIMES: dict[tuple[int, int], float] = {}
+
+
+def _scale_overrides() -> dict:
+    mode = os.environ.get("REPRO_BENCH_SCALE", "full").lower()
+    if mode == "tiny":
+        return {
+            "small": tiny_profile(1.0 / 10_000.0),
+            "large": tiny_profile(1.0 / 4_000.0),
+        }
+    return {}
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """The shared experiment harness (cached environments per scale)."""
+    return ExperimentHarness(scale_overrides=_scale_overrides())
+
+
+@pytest.fixture(scope="session")
+def measured_runtimes() -> dict[tuple[int, int], float]:
+    """Query runtimes recorded by earlier benchmarks in the same session."""
+    return MEASURED_RUNTIMES
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Write a rendered table/figure to ``benchmarks/results/`` and echo it."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIRECTORY / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact written to {path}]")
+        return path
+
+    return _record

@@ -1,0 +1,124 @@
+"""Ablation — embedded vs referenced data model for read operations.
+
+Table 2.2 of the paper contrasts the two document-modelling options: the
+embedded (denormalized) model retrieves related data in a single operation,
+while the referenced (normalized) model needs follow-up queries to resolve
+references.  This ablation measures that difference directly on the
+publisher/book example of Section 2.1.1, scaled up to many publishers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_table
+from repro.documentstore import DocumentStoreClient
+
+PUBLISHERS = 200
+BOOKS_PER_PUBLISHER = 8
+
+
+@pytest.fixture(scope="module")
+def library():
+    client = DocumentStoreClient()
+    database = client["library"]
+
+    referenced_publishers = database["publishers"]
+    referenced_books = database["books"]
+    embedded_publishers = database["publishers_embedded"]
+
+    for publisher_id in range(1, PUBLISHERS + 1):
+        publisher = {
+            "publisher_id": publisher_id,
+            "publisher": f"Publisher {publisher_id}",
+            "founded": 1900 + publisher_id % 100,
+            "location": "California",
+        }
+        books = [
+            {
+                "title": f"Book {publisher_id}-{book_number}",
+                "publisher_id": publisher_id,
+                "pages": 100 + book_number,
+            }
+            for book_number in range(BOOKS_PER_PUBLISHER)
+        ]
+        referenced_publishers.insert_one(publisher)
+        referenced_books.insert_many(books)
+        embedded_publishers.insert_one({**publisher, "books": books})
+
+    referenced_books.create_index("publisher_id")
+    referenced_publishers.create_index("publisher_id")
+    embedded_publishers.create_index("publisher_id")
+    return database
+
+
+TIMINGS: dict[str, float] = {}
+
+
+@pytest.mark.benchmark(group="ablation-data-model")
+def test_embedded_read_single_operation(benchmark, library):
+    """Complete publisher info (publisher + books) in one read."""
+
+    def read_all():
+        documents = []
+        for publisher_id in range(1, PUBLISHERS + 1):
+            documents.append(
+                library["publishers_embedded"].find_one({"publisher_id": publisher_id})
+            )
+        return documents
+
+    documents = benchmark.pedantic(read_all, rounds=3, iterations=1)
+    TIMINGS["embedded"] = benchmark.stats.stats.min
+    assert len(documents) == PUBLISHERS
+    assert len(documents[0]["books"]) == BOOKS_PER_PUBLISHER
+
+
+@pytest.mark.benchmark(group="ablation-data-model")
+def test_referenced_read_requires_follow_up_queries(benchmark, library):
+    """The referenced model resolves each publisher's books separately."""
+
+    def read_all():
+        documents = []
+        for publisher_id in range(1, PUBLISHERS + 1):
+            publisher = library["publishers"].find_one({"publisher_id": publisher_id})
+            publisher = dict(publisher)
+            publisher["books"] = library["books"].find(
+                {"publisher_id": publisher_id}
+            ).to_list()
+            documents.append(publisher)
+        return documents
+
+    documents = benchmark.pedantic(read_all, rounds=3, iterations=1)
+    TIMINGS["referenced"] = benchmark.stats.stats.min
+    assert len(documents) == PUBLISHERS
+    assert len(documents[0]["books"]) == BOOKS_PER_PUBLISHER
+
+
+@pytest.mark.benchmark(group="ablation-data-model")
+def test_render_data_model_report(benchmark, record_artifact):
+    """Summarize the embedded-vs-referenced read cost."""
+
+    def build_rows():
+        rows = []
+        for model, operations in (("embedded", 1), ("referenced", 2)):
+            seconds = TIMINGS.get(model)
+            rows.append(
+                [
+                    model,
+                    operations,
+                    f"{seconds * 1000:.2f}" if seconds is not None else "n/a",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_artifact(
+        "ablation_embedded_vs_referenced",
+        render_table(
+            ["data model", "reads per entity", "total ms (best of 3)"],
+            rows,
+            title="Ablation — embedded vs referenced reads (Table 2.2)",
+        ),
+    )
+    if "embedded" in TIMINGS and "referenced" in TIMINGS:
+        assert TIMINGS["embedded"] < TIMINGS["referenced"]

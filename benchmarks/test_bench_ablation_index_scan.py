@@ -1,0 +1,117 @@
+"""Ablation — index scans vs collection scans (Section 2.1.2).
+
+The paper motivates secondary indexes with the B-tree lookup cost used in the
+complexity analysis of the embedding algorithm (Section 4.1.3.1.1).  This
+ablation measures point and range queries with and without an index, plus the
+index-prefix behaviour of compound indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_table
+from repro.documentstore import Collection
+
+ROWS = 20_000
+
+
+def build_collection(indexed: bool) -> Collection:
+    collection = Collection(None, "events")
+    collection.insert_many(
+        [
+            {
+                "event_id": i,
+                "day": i % 365,
+                "store": i % 50,
+                "amount": float(i % 997),
+            }
+            for i in range(ROWS)
+        ]
+    )
+    if indexed:
+        collection.create_index("event_id")
+        collection.create_index([("store", 1), ("day", 1)])
+    return collection
+
+
+@pytest.fixture(scope="module")
+def indexed_collection():
+    return build_collection(indexed=True)
+
+
+@pytest.fixture(scope="module")
+def unindexed_collection():
+    return build_collection(indexed=False)
+
+
+TIMINGS: dict[str, float] = {}
+
+
+@pytest.mark.benchmark(group="ablation-indexing")
+def test_point_lookup_collscan(benchmark, unindexed_collection):
+    result = benchmark.pedantic(
+        lambda: unindexed_collection.find_one({"event_id": ROWS // 2}),
+        rounds=5,
+        iterations=1,
+    )
+    TIMINGS["point COLLSCAN"] = benchmark.stats.stats.min
+    assert result["event_id"] == ROWS // 2
+
+
+@pytest.mark.benchmark(group="ablation-indexing")
+def test_point_lookup_ixscan(benchmark, indexed_collection):
+    result = benchmark.pedantic(
+        lambda: indexed_collection.find_one({"event_id": ROWS // 2}),
+        rounds=5,
+        iterations=1,
+    )
+    TIMINGS["point IXSCAN"] = benchmark.stats.stats.min
+    assert result["event_id"] == ROWS // 2
+    plan = indexed_collection.explain({"event_id": ROWS // 2})
+    assert plan["queryPlanner"]["winningPlan"]["stage"] == "IXSCAN"
+
+
+@pytest.mark.benchmark(group="ablation-indexing")
+def test_compound_prefix_lookup_ixscan(benchmark, indexed_collection):
+    """A compound index on (store, day) answers queries on its prefix."""
+    result = benchmark.pedantic(
+        lambda: indexed_collection.find({"store": 17}).to_list(),
+        rounds=5,
+        iterations=1,
+    )
+    TIMINGS["prefix IXSCAN"] = benchmark.stats.stats.min
+    assert len(result) == ROWS // 50
+    plan = indexed_collection.explain({"store": 17})
+    assert plan["queryPlanner"]["winningPlan"]["indexName"] == "store_1_day_1"
+
+
+@pytest.mark.benchmark(group="ablation-indexing")
+def test_compound_prefix_lookup_collscan(benchmark, unindexed_collection):
+    result = benchmark.pedantic(
+        lambda: unindexed_collection.find({"store": 17}).to_list(),
+        rounds=5,
+        iterations=1,
+    )
+    TIMINGS["prefix COLLSCAN"] = benchmark.stats.stats.min
+    assert len(result) == ROWS // 50
+
+
+@pytest.mark.benchmark(group="ablation-indexing")
+def test_render_indexing_report(benchmark, record_artifact):
+    def build_rows():
+        return [
+            [label, f"{seconds * 1000:.3f}"] for label, seconds in sorted(TIMINGS.items())
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_artifact(
+        "ablation_index_vs_collection_scan",
+        render_table(
+            ["access path", "best ms"],
+            rows,
+            title="Ablation — index scan vs collection scan (Section 2.1.2)",
+        ),
+    )
+    if {"point IXSCAN", "point COLLSCAN"} <= TIMINGS.keys():
+        assert TIMINGS["point IXSCAN"] < TIMINGS["point COLLSCAN"]

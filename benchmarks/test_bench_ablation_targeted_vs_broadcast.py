@@ -1,0 +1,148 @@
+"""Ablation — targeted vs broadcast routing on the sharded cluster.
+
+Section 4.3 (observation iii) attributes Query 50's good sharded performance
+to the fact that its predicate contains the shard key, so the router sends it
+to a single shard instead of broadcasting it and merging results from every
+shard.  This ablation isolates that mechanism: the same collection is queried
+once through its shard key (targeted) and once through a non-key attribute
+(broadcast), and the aggregation pipelines of both flavours are compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_table
+from repro.sharding import ShardedCluster
+
+ROWS = 6_000
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    built = ShardedCluster(shard_count=3)
+    built.enable_sharding("ablation")
+    built.shard_collection("ablation", "orders", {"day": 1}, chunk_size_bytes=16 * 1024)
+    orders = built.get_database("ablation")["orders"]
+    orders.insert_many(
+        [
+            {
+                "day": i % 365,
+                "store": i % 40,
+                "amount": float(i % 97),
+                "payload": "x" * 40,
+            }
+            for i in range(ROWS)
+        ]
+    )
+    built.balance()
+    built.reset_metrics()
+    return built
+
+
+RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _run_and_snapshot(cluster, label, operation):
+    cluster.reset_metrics()
+    operation()
+    metrics = cluster.router.metrics
+    RESULTS[label] = {
+        "shards_contacted": metrics.shards_contacted,
+        "targeted": metrics.targeted_operations,
+        "broadcast": metrics.broadcast_operations,
+        "network_seconds": metrics.network_seconds,
+        "parallel_shard_seconds": metrics.parallel_shard_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_targeted_find_by_shard_key(benchmark, cluster):
+    """A find constrained by the shard key touches a subset of the shards."""
+    orders = cluster.get_database("ablation")["orders"]
+
+    def targeted():
+        return orders.find({"day": {"$gte": 10, "$lte": 20}}).to_list()
+
+    results = benchmark.pedantic(targeted, rounds=3, iterations=1)
+    _run_and_snapshot(cluster, "targeted find (day range)", targeted)
+    assert results
+    assert RESULTS["targeted find (day range)"]["shards_contacted"] < 3 * 1 + 1
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_broadcast_find_by_non_key(benchmark, cluster):
+    """A find on a non-key attribute is broadcast to every shard."""
+    orders = cluster.get_database("ablation")["orders"]
+
+    def broadcast():
+        return orders.find({"store": 7}).to_list()
+
+    results = benchmark.pedantic(broadcast, rounds=3, iterations=1)
+    _run_and_snapshot(cluster, "broadcast find (store)", broadcast)
+    assert results
+    assert RESULTS["broadcast find (store)"]["shards_contacted"] == 3
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_targeted_aggregation(benchmark, cluster):
+    """An aggregation whose $match carries the shard key is targeted."""
+    orders = cluster.get_database("ablation")["orders"]
+    pipeline = [
+        {"$match": {"day": {"$gte": 100, "$lte": 110}}},
+        {"$group": {"_id": "$store", "total": {"$sum": "$amount"}}},
+    ]
+
+    def targeted():
+        return orders.aggregate(pipeline)
+
+    benchmark.pedantic(targeted, rounds=3, iterations=1)
+    _run_and_snapshot(cluster, "targeted aggregate", targeted)
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_broadcast_aggregation(benchmark, cluster):
+    """An aggregation without the shard key is scattered and merged."""
+    orders = cluster.get_database("ablation")["orders"]
+    pipeline = [
+        {"$match": {"amount": {"$gte": 50.0}}},
+        {"$group": {"_id": "$store", "total": {"$sum": "$amount"}}},
+    ]
+
+    def broadcast():
+        return orders.aggregate(pipeline)
+
+    benchmark.pedantic(broadcast, rounds=3, iterations=1)
+    _run_and_snapshot(cluster, "broadcast aggregate", broadcast)
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_render_routing_report(benchmark, cluster, record_artifact):
+    """Summarize shards contacted and routing cost per access pattern."""
+
+    def build_rows():
+        return [
+            [
+                label,
+                int(stats["shards_contacted"]),
+                int(stats["targeted"]),
+                int(stats["broadcast"]),
+                f"{stats['network_seconds'] * 1000:.2f}",
+            ]
+            for label, stats in RESULTS.items()
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_artifact(
+        "ablation_targeted_vs_broadcast",
+        render_table(
+            ["access pattern", "shards contacted", "targeted ops", "broadcast ops", "network ms"],
+            rows,
+            title="Ablation — targeted vs broadcast routing (Section 4.3, observation iii)",
+        ),
+    )
+    if {"targeted aggregate", "broadcast aggregate"} <= RESULTS.keys():
+        assert (
+            RESULTS["targeted aggregate"]["shards_contacted"]
+            <= RESULTS["broadcast aggregate"]["shards_contacted"]
+        )

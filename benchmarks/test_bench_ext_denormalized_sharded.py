@@ -1,0 +1,67 @@
+"""Extension — the denormalized data model on the sharded cluster.
+
+Section 5.2 of the paper proposes deploying the denormalized model on the
+sharded cluster as future work.  The reproduction implements that
+configuration as Experiments 7 (small dataset) and 8 (large dataset); this
+benchmark compares it with the denormalized stand-alone experiments (3/6) for
+every query.  Because the denormalized pipelines are single aggregations, the
+only extra sharded cost is scatter-gather — so the gap is expected to be far
+smaller than for the normalized model, and the shard-key-targeted queries may
+benefit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_table
+from repro.tpcds import QUERY_IDS
+
+RESULTS: dict[tuple[int, int], float] = {}
+
+
+@pytest.mark.benchmark(group="extension-denormalized-sharded")
+@pytest.mark.parametrize("experiment", [7, 3])
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_denormalized_small_dataset(benchmark, harness, experiment, query_id):
+    """Denormalized model, small dataset: sharded (7) vs stand-alone (3)."""
+    run = benchmark.pedantic(
+        lambda: harness.run_query(experiment, query_id, repetitions=1),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS[(experiment, query_id)] = run.simulated_seconds
+    assert run.result_documents >= 0
+
+
+@pytest.mark.benchmark(group="extension-denormalized-sharded")
+def test_render_extension_report(benchmark, record_artifact):
+    """Render the future-work comparison (Section 5.2)."""
+
+    def build_rows():
+        rows = []
+        for query_id in QUERY_IDS:
+            standalone = RESULTS.get((3, query_id))
+            sharded = RESULTS.get((7, query_id))
+            if standalone is None or sharded is None:
+                continue
+            rows.append(
+                [
+                    f"Query {query_id}",
+                    f"{standalone:.3f}",
+                    f"{sharded:.3f}",
+                    f"{sharded / standalone:.2f}" if standalone else "n/a",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_artifact(
+        "extension_denormalized_sharded",
+        render_table(
+            ["query", "stand-alone (Exp 3) s", "sharded (Exp 7) s", "sharded/stand-alone"],
+            rows,
+            title="Extension — denormalized data model on the sharded cluster (Section 5.2)",
+        ),
+    )
+    assert rows, "expected the parametrized measurements to run first"

@@ -1,0 +1,87 @@
+"""Figure 4.11 — query execution time comparison for the large dataset.
+
+The large-dataset counterpart of Figure 4.10: for every query the runtimes of
+Experiment 6 (denormalized / stand-alone), Experiment 5 (normalized /
+stand-alone), and Experiment 4 (normalized / sharded) are compared.  The
+expected shape matches the paper: the denormalized model stays the fastest;
+the sharded cluster stays slower for the broadcast queries 21 and 46, while
+Query 50 — targeted by the shard key — is the query where the cluster comes
+closest to (or beats) the stand-alone system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_bar_chart
+from repro.tpcds import QUERY_IDS
+
+SERIES = {
+    "denormalized / stand-alone (Exp 6)": 6,
+    "normalized / stand-alone (Exp 5)": 5,
+    "normalized / sharded (Exp 4)": 4,
+}
+
+
+@pytest.mark.benchmark(group="figure-4.11")
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_large_dataset_query_comparison(
+    benchmark, harness, query_id, measured_runtimes, record_artifact
+):
+    """Measure the three large-dataset series for one query and plot them."""
+
+    def run_all_series():
+        chart_series = {}
+        for label, experiment in SERIES.items():
+            key = (experiment, query_id)
+            if key not in measured_runtimes:
+                run = harness.run_query(experiment, query_id, repetitions=2)
+                measured_runtimes[key] = run.simulated_seconds
+            chart_series[label] = measured_runtimes[key]
+        return chart_series
+
+    chart_series = benchmark.pedantic(run_all_series, rounds=1, iterations=1)
+    record_artifact(
+        f"figure_4_11_query{query_id}_large_dataset",
+        render_bar_chart(
+            chart_series,
+            title=f"Figure 4.11 — Query {query_id}, 41.93GB (large) dataset",
+        ),
+    )
+
+    denormalized = chart_series["denormalized / stand-alone (Exp 6)"]
+    standalone = chart_series["normalized / stand-alone (Exp 5)"]
+    sharded = chart_series["normalized / sharded (Exp 4)"]
+    assert denormalized <= standalone * 1.1
+    assert denormalized <= sharded * 1.1
+    if query_id in (21, 46):
+        assert sharded > standalone
+
+
+@pytest.mark.benchmark(group="figure-4.11")
+def test_query50_has_smallest_sharding_penalty(benchmark, harness, measured_runtimes, record_artifact):
+    """Observation (iii): Q50 benefits most from the sharded deployment."""
+
+    def collect_ratios():
+        ratios = {}
+        for query_id in QUERY_IDS:
+            for experiment in (4, 5):
+                key = (experiment, query_id)
+                if key not in measured_runtimes:
+                    run = harness.run_query(experiment, query_id, repetitions=2)
+                    measured_runtimes[key] = run.simulated_seconds
+            ratios[f"Query {query_id}"] = (
+                measured_runtimes[(4, query_id)] / measured_runtimes[(5, query_id)]
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(collect_ratios, rounds=1, iterations=1)
+    record_artifact(
+        "figure_4_11_sharded_over_standalone_ratio",
+        render_bar_chart(
+            ratios,
+            title="Sharded / stand-alone runtime ratio, large dataset (paper: Q50 < 1.0)",
+            unit="x",
+        ),
+    )
+    assert ratios["Query 50"] <= min(ratios[f"Query {q}"] for q in (7, 21, 46)) * 1.25

@@ -1,0 +1,65 @@
+"""Figure 4.9 — comparison of total data-load times for the two datasets.
+
+The paper's Figure 4.9 is a bar chart of the total load time of the 9.94 GB
+dataset (47m20s) against the 41.93 GB dataset (3h31m54s).  This benchmark
+loads both reproduction datasets into fresh stand-alone deployments and
+renders the same two-bar comparison; the expected shape is that the large
+dataset takes several times longer, in proportion to its extra rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import format_seconds, render_bar_chart
+from repro.core.migration import migrate_generated_dataset
+from repro.documentstore import DocumentStoreClient
+from repro.tpcds import SCALE_LARGE, SCALE_SMALL, TPCDSGenerator
+
+#: Total load seconds measured per profile, shared across parametrized runs.
+TOTALS: dict[str, float] = {}
+
+
+def _load(profile) -> float:
+    generator = TPCDSGenerator(profile, seed=20151109)
+    client = DocumentStoreClient()
+    report = migrate_generated_dataset(client[profile.database_name], generator)
+    return report.total_seconds
+
+
+@pytest.mark.benchmark(group="figure-4.9")
+@pytest.mark.parametrize("profile", [SCALE_SMALL, SCALE_LARGE], ids=["small-9.94GB", "large-41.93GB"])
+def test_total_load_time(benchmark, profile):
+    """Measure the end-to-end load of one dataset."""
+    total = benchmark.pedantic(_load, args=(profile,), rounds=1, iterations=1)
+    TOTALS[profile.name] = total
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="figure-4.9")
+def test_render_figure(benchmark, record_artifact):
+    """Render the Figure 4.9 bar chart from the measured totals."""
+    for profile in (SCALE_SMALL, SCALE_LARGE):
+        if profile.name not in TOTALS:
+            TOTALS[profile.name] = _load(profile)
+
+    series = {
+        "9.94GB dataset (small)": TOTALS[SCALE_SMALL.name],
+        "41.93GB dataset (large)": TOTALS[SCALE_LARGE.name],
+    }
+    chart = benchmark.pedantic(
+        lambda: render_bar_chart(series, title="Figure 4.9 — data load times"),
+        rounds=3,
+        iterations=1,
+    )
+    summary = (
+        f"{chart}\n\n"
+        f"paper: 47m20.14s vs 3h31m53.72s (ratio 4.47x)\n"
+        f"reproduction: {format_seconds(series['9.94GB dataset (small)'])} vs "
+        f"{format_seconds(series['41.93GB dataset (large)'])} "
+        f"(ratio {series['41.93GB dataset (large)'] / series['9.94GB dataset (small)']:.2f}x)"
+    )
+    record_artifact("figure_4_9_load_times", summary)
+
+    # Shape check: the large dataset loads substantially slower.
+    assert series["41.93GB dataset (large)"] > 2.0 * series["9.94GB dataset (small)"]

@@ -1,0 +1,84 @@
+"""Table 3.6 — number of records per table for the two dataset scales.
+
+The paper's Table 3.6 lists the row count of each of the 24 TPC-DS tables at
+1 GB and 5 GB.  The reproduction's generator targets the same counts scaled
+by the global reduction factor; this benchmark measures generation speed and
+renders the generated counts next to the paper's, including the small/large
+ratio that drives the load-time observations of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import render_table
+from repro.tpcds import (
+    PAPER_ROW_COUNTS,
+    SCALE_LARGE,
+    SCALE_SMALL,
+    TPCDSGenerator,
+    generation_row_counts,
+)
+
+
+@pytest.mark.benchmark(group="table-3.6")
+@pytest.mark.parametrize("profile", [SCALE_SMALL, SCALE_LARGE], ids=["small-1GB", "large-5GB"])
+def test_generate_dataset_row_counts(benchmark, profile, record_artifact):
+    """Generate the full dataset for one scale and report its row counts."""
+
+    def generate():
+        generator = TPCDSGenerator(profile, seed=20151109)
+        return generator.generate_all()
+
+    dataset = benchmark.pedantic(generate, rounds=1, iterations=1)
+    generated = dataset.row_counts()
+    expected = generation_row_counts(profile)
+    assert generated == expected
+
+    rows = []
+    for table in sorted(PAPER_ROW_COUNTS):
+        paper_small, paper_large = PAPER_ROW_COUNTS[table]
+        paper_count = paper_small if profile is SCALE_SMALL else paper_large
+        rows.append([table, paper_count, generated[table]])
+    record_artifact(
+        f"table_3_6_row_counts_{profile.name}",
+        render_table(
+            ["table", f"paper rows ({profile.paper_gb}GB)", "reproduction rows"],
+            rows,
+            title=f"Table 3.6 — row counts, {profile.name} dataset",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="table-3.6")
+def test_row_count_scaling_ratios(benchmark, record_artifact):
+    """The small:large ratio per table follows the paper (≈1x or ≈5x)."""
+
+    def compute():
+        small = generation_row_counts(SCALE_SMALL)
+        large = generation_row_counts(SCALE_LARGE)
+        return small, large
+
+    small, large = benchmark.pedantic(compute, rounds=3, iterations=1)
+    rows = []
+    for table in sorted(PAPER_ROW_COUNTS):
+        paper_small, paper_large = PAPER_ROW_COUNTS[table]
+        paper_ratio = paper_large / paper_small
+        reproduction_ratio = large[table] / small[table]
+        rows.append(
+            [table, f"{paper_ratio:.2f}", f"{reproduction_ratio:.2f}"]
+        )
+        # Non-scaling tables stay at 1x; scaling tables keep the paper's
+        # direction (they grow), even when clamped by minimum row counts.
+        if paper_ratio == 1.0:
+            assert reproduction_ratio == 1.0
+        else:
+            assert reproduction_ratio >= 1.0
+    record_artifact(
+        "table_3_6_scaling_ratios",
+        render_table(
+            ["table", "paper 5GB/1GB ratio", "reproduction ratio"],
+            rows,
+            title="Table 3.6 — growth ratio between the two scales",
+        ),
+    )

@@ -1,0 +1,153 @@
+"""Reproduce the paper's evaluation tables from the public API.
+
+This is the programmatic version of the benchmark suite: it runs the six
+experimental setups of Table 4.1 on reduced datasets and prints
+
+* Table 4.3 / Figure 4.9 — data load times,
+* Table 4.4 — query selectivity,
+* Table 4.5 / Figures 4.10, 4.11 — query runtimes per experiment,
+
+next to the values published in the paper.  Use ``--scale tiny`` for a quick
+run (about a minute) or ``--scale full`` for the standard reproduction scale.
+
+Run it with::
+
+    python examples/reproduce_paper_tables.py --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import (
+    EXPERIMENTS,
+    ExperimentHarness,
+    format_seconds,
+    paper_reference_table_44,
+    paper_reference_table_45,
+    render_bar_chart,
+    render_table,
+    selectivity_table,
+    tiny_profile,
+)
+from repro.tpcds import QUERY_IDS
+
+
+def build_harness(scale: str) -> ExperimentHarness:
+    if scale == "tiny":
+        overrides = {
+            "small": tiny_profile(1.0 / 10_000.0),
+            "large": tiny_profile(1.0 / 4_000.0),
+        }
+        return ExperimentHarness(scale_overrides=overrides)
+    return ExperimentHarness()
+
+
+def report_load_times(harness: ExperimentHarness) -> None:
+    totals = {}
+    for experiment in (2, 5):
+        config = EXPERIMENTS[experiment]
+        profile = harness.scale(config)
+        harness.standalone_database(profile)
+        report = harness.load_report(profile)
+        totals[profile.name] = report.total_seconds
+        rows = [
+            [result.table, result.documents_inserted, f"{result.seconds:.3f}"]
+            for result in sorted(report.results.values(), key=lambda r: r.table)
+        ]
+        print(
+            render_table(
+                ["table", "documents", "seconds"],
+                rows,
+                title=f"Table 4.3 — load times, {profile.name} dataset",
+            )
+        )
+        print()
+    print(
+        render_bar_chart(
+            {
+                "small dataset (paper: 47m20s)": totals.get("small", 0.0),
+                "large dataset (paper: 3h31m54s)": totals.get("large", 0.0),
+            },
+            title="Figure 4.9 — total load time comparison",
+        )
+    )
+    print()
+
+
+def report_selectivity(harness: ExperimentHarness) -> None:
+    paper = paper_reference_table_44()
+    rows = []
+    for scale_name, experiment in (("small", 3), ("large", 6)):
+        database = harness.standalone_denormalized_database(
+            harness.scale(EXPERIMENTS[experiment])
+        )
+        for query_id, measurement in selectivity_table(database).items():
+            rows.append(
+                [
+                    scale_name,
+                    f"Query {query_id}",
+                    f"{measurement.megabytes:.4f}",
+                    f"{paper[scale_name][query_id]:.3f}",
+                ]
+            )
+    print(render_table(["dataset", "query", "reproduction MB", "paper MB"], rows,
+                       title="Table 4.4 — query selectivity"))
+    print()
+
+
+def report_runtimes(harness: ExperimentHarness) -> None:
+    paper = paper_reference_table_45()
+    measured: dict[tuple[int, int], float] = {}
+    rows = []
+    for experiment in (1, 2, 3, 4, 5, 6):
+        config = EXPERIMENTS[experiment]
+        result = harness.run_experiment(experiment, repetitions=2)
+        for query_id, run in sorted(result.query_runs.items()):
+            measured[(experiment, query_id)] = run.simulated_seconds
+            rows.append(
+                [
+                    f"Exp {experiment} ({config.scale.name}/{config.data_model}/{config.environment})",
+                    f"Query {query_id}",
+                    format_seconds(run.simulated_seconds),
+                    format_seconds(paper[experiment][query_id]),
+                ]
+            )
+    print(render_table(["experiment", "query", "reproduction", "paper"], rows,
+                       title="Table 4.5 — query execution runtimes"))
+    print()
+
+    for figure, experiments in (("Figure 4.10 (small dataset)", (3, 2, 1)),
+                                ("Figure 4.11 (large dataset)", (6, 5, 4))):
+        for query_id in QUERY_IDS:
+            series = {}
+            for experiment in experiments:
+                config = EXPERIMENTS[experiment]
+                label = f"{config.data_model}/{config.environment} (Exp {experiment})"
+                series[label] = measured[(experiment, query_id)]
+            print(render_bar_chart(series, title=f"{figure} — Query {query_id}"))
+            print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    parser.add_argument(
+        "--section",
+        choices=("all", "load", "selectivity", "runtimes"),
+        default="all",
+        help="which part of the evaluation to reproduce",
+    )
+    arguments = parser.parse_args()
+
+    harness = build_harness(arguments.scale)
+    if arguments.section in ("all", "load"):
+        report_load_times(harness)
+    if arguments.section in ("all", "selectivity"):
+        report_selectivity(harness)
+    if arguments.section in ("all", "runtimes"):
+        report_runtimes(harness)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""An in-process document store.
+
+This package is the reproduction's substitute for the document database
+benchmarked in the paper.  It provides:
+
+* a BSON-like document model with :class:`ObjectId` primary keys and the
+  16 MB document-size limit (``repro.documentstore.bson``);
+* collections with CRUD, cursors, secondary indexes (single-field, compound,
+  hashed, multikey) and an index-aware query planner;
+* an aggregation pipeline with the stages and accumulators used by the
+  thesis queries (Appendix B) and more;
+* databases and a stand-alone client.
+
+The sharded deployment environment lives in :mod:`repro.sharding` and builds
+on the same collection engine.
+"""
+
+from .aggregation import run_pipeline, split_pipeline_for_shards
+from .bson import (
+    MAX_DOCUMENT_SIZE,
+    decode_document,
+    document_size,
+    encode_document,
+    validate_document,
+)
+from .client import DocumentStoreClient
+from .collection import Collection, CollectionStats
+from .cursor import Cursor, DeleteResult, InsertManyResult, InsertOneResult, UpdateResult
+from .database import Database
+from .errors import (
+    ChunkSplitError,
+    CollectionDoesNotExist,
+    CollectionInvalid,
+    DocumentStoreError,
+    DocumentTooLargeError,
+    DuplicateKeyError,
+    IndexNotFoundError,
+    InvalidDocumentError,
+    InvalidOperator,
+    InvalidPipelineError,
+    InvalidUpdateError,
+    OperationFailure,
+    ShardingError,
+    ShardKeyError,
+)
+from .indexes import ASCENDING, DESCENDING, HASHED, Index, IndexSpec, hashed_value
+from .matching import compare_values, matches, resolve_path, resolve_path_single
+from .objectid import ObjectId
+from .planner import QueryPlan, plan_query
+from .storage import dump_collection, dump_database, load_collection, load_database
+
+__all__ = [
+    "ASCENDING",
+    "DESCENDING",
+    "HASHED",
+    "MAX_DOCUMENT_SIZE",
+    "ChunkSplitError",
+    "Collection",
+    "CollectionDoesNotExist",
+    "CollectionInvalid",
+    "CollectionStats",
+    "Cursor",
+    "Database",
+    "DeleteResult",
+    "DocumentStoreClient",
+    "DocumentStoreError",
+    "DocumentTooLargeError",
+    "DuplicateKeyError",
+    "Index",
+    "IndexNotFoundError",
+    "IndexSpec",
+    "InsertManyResult",
+    "InsertOneResult",
+    "InvalidDocumentError",
+    "InvalidOperator",
+    "InvalidPipelineError",
+    "InvalidUpdateError",
+    "ObjectId",
+    "OperationFailure",
+    "QueryPlan",
+    "ShardKeyError",
+    "ShardingError",
+    "UpdateResult",
+    "compare_values",
+    "decode_document",
+    "document_size",
+    "dump_collection",
+    "dump_database",
+    "encode_document",
+    "hashed_value",
+    "load_collection",
+    "load_database",
+    "matches",
+    "plan_query",
+    "resolve_path",
+    "resolve_path_single",
+    "run_pipeline",
+    "split_pipeline_for_shards",
+    "validate_document",
+]

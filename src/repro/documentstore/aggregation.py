@@ -1,0 +1,397 @@
+"""Aggregation pipeline.
+
+Section 4.1.3.1 of the thesis translates the SQL constructs of the TPC-DS
+queries to the aggregation framework using the operator analogy of Table 4.2:
+
+==================  =======================
+pipeline stage      SQL construct
+==================  =======================
+``$project``        select
+``$match``          where / having
+``$limit``          limit
+``$group``          group by
+``$sort``           order by
+``$sum`` / ``$avg`` aggregate functions
+==================  =======================
+
+This module executes a pipeline over an iterable of documents.  The same
+executor runs on a stand-alone collection and, in the sharded cluster, on each
+shard followed by a merge stage on the router (see
+:mod:`repro.sharding.router`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .bson import deep_copy_document
+from .cursor import sort_documents
+from .errors import InvalidPipelineError, OperationFailure
+from .expressions import evaluate_expression
+from .matching import compile_filter, resolve_path, values_equal
+from .objectid import ObjectId
+
+__all__ = [
+    "run_pipeline",
+    "split_pipeline_for_shards",
+    "GROUP_ACCUMULATORS",
+]
+
+
+# ---------------------------------------------------------------------------
+# $group accumulators
+# ---------------------------------------------------------------------------
+
+class _Accumulator:
+    """Incremental accumulator for one group field."""
+
+    def __init__(self, operator: str, expression: Any) -> None:
+        self.operator = operator
+        self.expression = expression
+        self.values: list[Any] = []
+
+    def add(self, document: Mapping[str, Any]) -> None:
+        self.values.append(evaluate_expression(self.expression, document))
+
+    def result(self) -> Any:
+        numeric = [
+            value
+            for value in self.values
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+        if self.operator == "$sum":
+            return sum(numeric) if numeric else 0
+        if self.operator == "$avg":
+            return sum(numeric) / len(numeric) if numeric else None
+        if self.operator == "$min":
+            present = [value for value in self.values if value is not None]
+            return min(present, default=None, key=_sort_key)
+        if self.operator == "$max":
+            present = [value for value in self.values if value is not None]
+            return max(present, default=None, key=_sort_key)
+        if self.operator == "$first":
+            return self.values[0] if self.values else None
+        if self.operator == "$last":
+            return self.values[-1] if self.values else None
+        if self.operator == "$push":
+            return list(self.values)
+        if self.operator == "$addToSet":
+            unique: list[Any] = []
+            for value in self.values:
+                if not any(values_equal(value, existing) for existing in unique):
+                    unique.append(value)
+            return unique
+        if self.operator == "$count":
+            return len(self.values)
+        if self.operator == "$stdDevPop":
+            if not numeric:
+                return None
+            mean = sum(numeric) / len(numeric)
+            return (sum((x - mean) ** 2 for x in numeric) / len(numeric)) ** 0.5
+        raise InvalidPipelineError(f"unknown accumulator {self.operator!r}")
+
+
+def _sort_key(value: Any) -> Any:
+    from .matching import compare_values
+    import functools
+
+    @functools.total_ordering
+    class _Wrapped:
+        def __init__(self, inner: Any) -> None:
+            self.inner = inner
+
+        def __eq__(self, other: object) -> bool:
+            return compare_values(self.inner, other.inner) == 0  # type: ignore[attr-defined]
+
+        def __lt__(self, other: "_Wrapped") -> bool:
+            return compare_values(self.inner, other.inner) < 0
+
+    return _Wrapped(value)
+
+
+GROUP_ACCUMULATORS = (
+    "$sum",
+    "$avg",
+    "$min",
+    "$max",
+    "$first",
+    "$last",
+    "$push",
+    "$addToSet",
+    "$count",
+    "$stdDevPop",
+)
+
+
+# ---------------------------------------------------------------------------
+# Stage implementations
+# ---------------------------------------------------------------------------
+
+def _stage_match(documents: list[dict[str, Any]], specification: Mapping[str, Any]) -> list[dict[str, Any]]:
+    predicate = compile_filter(specification)
+    return [document for document in documents if predicate(document)]
+
+
+def _stage_project(documents: list[dict[str, Any]], specification: Mapping[str, Any]) -> list[dict[str, Any]]:
+    if not specification:
+        raise InvalidPipelineError("$project requires at least one field")
+    include_id = bool(specification.get("_id", 1))
+    has_inclusion = any(
+        value not in (0, False)
+        for key, value in specification.items()
+        if key != "_id"
+    )
+    projected_documents: list[dict[str, Any]] = []
+    for document in documents:
+        if has_inclusion:
+            projected: dict[str, Any] = {}
+            if include_id and "_id" in document:
+                projected["_id"] = document["_id"]
+            for key, value in specification.items():
+                if key == "_id":
+                    if value not in (0, False, 1, True):
+                        projected["_id"] = evaluate_expression(value, document)
+                    continue
+                if value in (0, False):
+                    continue
+                if value in (1, True):
+                    resolved = resolve_path(document, key)
+                    if resolved:
+                        _assign_path(projected, key, deep_copy_document(resolved[0]))
+                else:
+                    _assign_path(projected, key, evaluate_expression(value, document))
+        else:
+            projected = deep_copy_document(dict(document))
+            for key, value in specification.items():
+                if value in (0, False):
+                    _delete_path(projected, key)
+            if not include_id:
+                projected.pop("_id", None)
+        projected_documents.append(projected)
+    return projected_documents
+
+
+def _stage_add_fields(documents: list[dict[str, Any]], specification: Mapping[str, Any]) -> list[dict[str, Any]]:
+    enriched = []
+    for document in documents:
+        copy = deep_copy_document(dict(document))
+        for key, expression in specification.items():
+            _assign_path(copy, key, evaluate_expression(expression, document))
+        enriched.append(copy)
+    return enriched
+
+
+def _stage_group(documents: list[dict[str, Any]], specification: Mapping[str, Any]) -> list[dict[str, Any]]:
+    if "_id" not in specification:
+        raise InvalidPipelineError("$group requires an _id expression")
+    id_expression = specification["_id"]
+    accumulator_specs: dict[str, tuple[str, Any]] = {}
+    for key, value in specification.items():
+        if key == "_id":
+            continue
+        if not isinstance(value, Mapping) or len(value) != 1:
+            raise InvalidPipelineError(
+                f"group field {key!r} must be a single-accumulator document"
+            )
+        operator, expression = next(iter(value.items()))
+        if operator not in GROUP_ACCUMULATORS:
+            raise InvalidPipelineError(f"unknown accumulator {operator!r}")
+        accumulator_specs[key] = (operator, expression)
+
+    groups: dict[str, dict[str, Any]] = {}
+    for document in documents:
+        group_id = evaluate_expression(id_expression, document)
+        marker = repr(group_id)
+        if marker not in groups:
+            groups[marker] = {
+                "_id": group_id,
+                "accumulators": {
+                    key: _Accumulator(operator, expression)
+                    for key, (operator, expression) in accumulator_specs.items()
+                },
+            }
+        for accumulator in groups[marker]["accumulators"].values():
+            accumulator.add(document)
+
+    results = []
+    for group in groups.values():
+        row = {"_id": group["_id"]}
+        for key, accumulator in group["accumulators"].items():
+            row[key] = accumulator.result()
+        results.append(row)
+    return results
+
+
+def _stage_unwind(documents: list[dict[str, Any]], specification: Any) -> list[dict[str, Any]]:
+    if isinstance(specification, Mapping):
+        path = specification["path"]
+        preserve_empty = bool(specification.get("preserveNullAndEmptyArrays", False))
+    else:
+        path = specification
+        preserve_empty = False
+    if not isinstance(path, str) or not path.startswith("$"):
+        raise InvalidPipelineError("$unwind path must start with '$'")
+    field_path = path[1:]
+
+    unwound: list[dict[str, Any]] = []
+    for document in documents:
+        values = resolve_path(document, field_path)
+        value = values[0] if values else None
+        if isinstance(value, (list, tuple)):
+            if not value and preserve_empty:
+                unwound.append(deep_copy_document(dict(document)))
+            for item in value:
+                copy = deep_copy_document(dict(document))
+                _assign_path(copy, field_path, item)
+                unwound.append(copy)
+        elif value is None:
+            if preserve_empty:
+                unwound.append(deep_copy_document(dict(document)))
+        else:
+            unwound.append(deep_copy_document(dict(document)))
+    return unwound
+
+
+def _stage_lookup(
+    documents: list[dict[str, Any]],
+    specification: Mapping[str, Any],
+    collection_resolver: Callable[[str], Iterable[Mapping[str, Any]]] | None,
+) -> list[dict[str, Any]]:
+    if collection_resolver is None:
+        raise OperationFailure("$lookup is not available in this context")
+    foreign = list(collection_resolver(specification["from"]))
+    local_field = specification["localField"]
+    foreign_field = specification["foreignField"]
+    output_field = specification["as"]
+
+    # Build a hash map over the foreign field for linear-time lookups.
+    foreign_by_key: dict[str, list[dict[str, Any]]] = {}
+    for foreign_document in foreign:
+        for key in resolve_path(foreign_document, foreign_field) or [None]:
+            foreign_by_key.setdefault(repr(key), []).append(dict(foreign_document))
+
+    joined = []
+    for document in documents:
+        copy = deep_copy_document(dict(document))
+        local_values = resolve_path(document, local_field) or [None]
+        matches: list[dict[str, Any]] = []
+        for value in local_values:
+            matches.extend(foreign_by_key.get(repr(value), []))
+        _assign_path(copy, output_field, deep_copy_document(matches))
+        joined.append(copy)
+    return joined
+
+
+def _assign_path(document: dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    node = document
+    for part in parts[:-1]:
+        if part not in node or not isinstance(node[part], dict):
+            node[part] = {}
+        node = node[part]
+    node[parts[-1]] = value
+
+
+def _delete_path(document: dict[str, Any], path: str) -> None:
+    parts = path.split(".")
+    node: Any = document
+    for part in parts[:-1]:
+        if not isinstance(node, dict) or part not in node:
+            return
+        node = node[part]
+    if isinstance(node, dict):
+        node.pop(parts[-1], None)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline driver
+# ---------------------------------------------------------------------------
+
+def run_pipeline(
+    documents: Iterable[Mapping[str, Any]],
+    pipeline: Sequence[Mapping[str, Any]],
+    *,
+    collection_resolver: Callable[[str], Iterable[Mapping[str, Any]]] | None = None,
+    output_writer: Callable[[str, list[dict[str, Any]]], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Execute *pipeline* over *documents* and return the resulting documents.
+
+    ``collection_resolver`` provides access to sibling collections for
+    ``$lookup``; ``output_writer`` receives ``($out target, documents)`` when
+    the pipeline ends with an ``$out`` stage (in which case an empty list is
+    returned, mirroring driver behaviour).
+    """
+    current: list[dict[str, Any]] = [dict(document) for document in documents]
+    for position, stage in enumerate(pipeline):
+        if not isinstance(stage, Mapping) or len(stage) != 1:
+            raise InvalidPipelineError(
+                f"pipeline stage #{position} must be a single-key document: {stage!r}"
+            )
+        operator, specification = next(iter(stage.items()))
+        if operator == "$match":
+            current = _stage_match(current, specification)
+        elif operator == "$project":
+            current = _stage_project(current, specification)
+        elif operator in ("$addFields", "$set"):
+            current = _stage_add_fields(current, specification)
+        elif operator == "$group":
+            current = _stage_group(current, specification)
+        elif operator == "$sort":
+            current = sort_documents(current, list(specification.items()))
+        elif operator == "$limit":
+            current = current[: int(specification)]
+        elif operator == "$skip":
+            current = current[int(specification):]
+        elif operator == "$unwind":
+            current = _stage_unwind(current, specification)
+        elif operator == "$count":
+            current = [{str(specification): len(current)}]
+        elif operator == "$lookup":
+            current = _stage_lookup(current, specification, collection_resolver)
+        elif operator == "$sample":
+            size = int(specification.get("size", 1))
+            current = current[:size]
+        elif operator == "$replaceRoot":
+            new_root = specification.get("newRoot")
+            current = [
+                root
+                for document in current
+                if isinstance(root := evaluate_expression(new_root, document), dict)
+            ]
+        elif operator == "$out":
+            if position != len(pipeline) - 1:
+                raise InvalidPipelineError("$out must be the final pipeline stage")
+            if output_writer is None:
+                raise OperationFailure("$out is not available in this context")
+            for document in current:
+                document.setdefault("_id", ObjectId())
+            output_writer(str(specification), current)
+            return []
+        else:
+            raise InvalidPipelineError(f"unknown pipeline stage {operator!r}")
+    return current
+
+
+def split_pipeline_for_shards(
+    pipeline: Sequence[Mapping[str, Any]],
+) -> tuple[list[Mapping[str, Any]], list[Mapping[str, Any]]]:
+    """Split a pipeline into a per-shard part and a router merge part.
+
+    The leading ``$match`` stages (and any following ``$project`` /
+    ``$addFields`` / ``$unwind``) can run on each shard independently; the
+    first ``$group`` / ``$sort`` / ``$limit`` and everything after it must run
+    on the router over the merged results, because those stages need a global
+    view of the data.  This is the scatter–gather behaviour whose cost the
+    paper measures for the broadcast queries (Section 4.3, observation ii).
+    """
+    shard_stages: list[Mapping[str, Any]] = []
+    merge_stages: list[Mapping[str, Any]] = []
+    splitting = True
+    for stage in pipeline:
+        operator = next(iter(stage))
+        if splitting and operator in ("$match", "$project", "$addFields", "$set", "$unwind"):
+            shard_stages.append(stage)
+        else:
+            splitting = False
+            merge_stages.append(stage)
+    return shard_stages, merge_stages

@@ -1,0 +1,232 @@
+"""BSON-style document validation, size accounting, and (de)serialization.
+
+The store keeps documents as ordinary Python dictionaries, but it enforces the
+same structural rules the paper relies on:
+
+* keys are strings and may not start with ``$`` or contain ``.`` (those are
+  reserved for operators and dotted paths);
+* values are limited to the BSON-representable types used by the thesis
+  workloads (null, bool, int, float, str, datetime/date, ObjectId, list,
+  embedded document);
+* a single document may not exceed :data:`MAX_DOCUMENT_SIZE` (16 MB), the
+  limit that motivates the referenced data model in Section 2.1.1.
+
+Size accounting follows the BSON wire layout closely enough that relative
+sizes (and therefore the "dataset grows ~9x when keys are repeated per
+document" observation of Section 4.1.2) are reproduced.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any, Iterable, Mapping
+
+from .errors import DocumentTooLargeError, InvalidDocumentError
+from .objectid import ObjectId
+
+__all__ = [
+    "MAX_DOCUMENT_SIZE",
+    "validate_document",
+    "document_size",
+    "deep_copy_document",
+    "encode_document",
+    "decode_document",
+]
+
+#: Maximum size of a single document, in bytes (16 MB, as in the paper).
+MAX_DOCUMENT_SIZE = 16 * 1024 * 1024
+
+_SCALAR_TYPES = (bool, int, float, str, bytes, ObjectId, _dt.datetime, _dt.date)
+
+
+def validate_document(document: Mapping[str, Any], *, check_size: bool = True) -> None:
+    """Validate *document* for insertion.
+
+    Raises
+    ------
+    InvalidDocumentError
+        If the document is not a mapping, has non-string keys, has keys that
+        start with ``$`` or contain ``.``, or contains unsupported values.
+    DocumentTooLargeError
+        If the document exceeds :data:`MAX_DOCUMENT_SIZE`.
+    """
+    if not isinstance(document, Mapping):
+        raise InvalidDocumentError(
+            f"documents must be mappings, got {type(document).__name__}"
+        )
+    _validate_value(document, top_level=True)
+    if check_size:
+        size = document_size(document)
+        if size > MAX_DOCUMENT_SIZE:
+            raise DocumentTooLargeError(size, MAX_DOCUMENT_SIZE)
+
+
+def ensure_document_size(document: Mapping[str, Any]) -> None:
+    """Raise :class:`DocumentTooLargeError` if *document* exceeds 16 MB.
+
+    Used by the update path, which validates the update payload once and then
+    only needs the size guard per modified document.
+    """
+    size = document_size(document)
+    if size > MAX_DOCUMENT_SIZE:
+        raise DocumentTooLargeError(size, MAX_DOCUMENT_SIZE)
+
+
+def validate_update_values(values: Any) -> None:
+    """Validate the values carried by an update operator payload."""
+    _validate_value(values)
+
+
+def _validate_value(value: Any, *, top_level: bool = False) -> None:
+    if value is None or isinstance(value, _SCALAR_TYPES):
+        return
+    if isinstance(value, Mapping):
+        for key, nested in value.items():
+            if not isinstance(key, str):
+                raise InvalidDocumentError(
+                    f"document keys must be strings, got {type(key).__name__}"
+                )
+            if key.startswith("$"):
+                raise InvalidDocumentError(
+                    f"document keys may not start with '$': {key!r}"
+                )
+            if "." in key:
+                raise InvalidDocumentError(
+                    f"document keys may not contain '.': {key!r}"
+                )
+            _validate_value(nested)
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _validate_value(item)
+        return
+    raise InvalidDocumentError(
+        f"unsupported value type {type(value).__name__}: {value!r}"
+    )
+
+
+def document_size(document: Mapping[str, Any]) -> int:
+    """Return the approximate serialized size of *document*, in bytes.
+
+    The estimate follows the BSON layout: 4-byte document length + 1-byte
+    terminator, and per element 1 type byte + key bytes + NUL + value bytes.
+    """
+    return _mapping_size(document)
+
+
+def _mapping_size(mapping: Mapping[str, Any]) -> int:
+    size = 5  # int32 length prefix + trailing NUL
+    for key, value in mapping.items():
+        size += 2 + len(str(key).encode("utf-8"))  # type byte + key + NUL
+        size += _value_size(value)
+    return size
+
+
+def _value_size(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return 5 + len(value)
+    if isinstance(value, ObjectId):
+        return 12
+    if isinstance(value, (_dt.datetime, _dt.date)):
+        return 8
+    if isinstance(value, Mapping):
+        return _mapping_size(value)
+    if isinstance(value, (list, tuple)):
+        # Arrays are encoded as documents keyed by the stringified index.
+        size = 5
+        for index, item in enumerate(value):
+            size += 2 + len(str(index)) + _value_size(item)
+        return size
+    raise InvalidDocumentError(
+        f"cannot compute size of unsupported type {type(value).__name__}"
+    )
+
+
+def deep_copy_document(document: Any) -> Any:
+    """Deep-copy a document without copying immutable scalars.
+
+    Collections hand out copies of stored documents so callers cannot mutate
+    the store through returned references, mirroring driver behaviour.
+    """
+    if isinstance(document, Mapping):
+        return {key: deep_copy_document(value) for key, value in document.items()}
+    if isinstance(document, (list, tuple)):
+        return [deep_copy_document(item) for item in document]
+    return document
+
+
+# --------------------------------------------------------------------------
+# Wire serialization.
+#
+# The sharding layer serializes documents whenever they cross the simulated
+# network boundary between a shard and the query router.  JSON with a small
+# extended-type envelope plays the role of the BSON wire format.
+# --------------------------------------------------------------------------
+
+_TYPE_KEY = "$__type"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, ObjectId):
+        return {_TYPE_KEY: "oid", "v": str(value)}
+    if isinstance(value, _dt.datetime):
+        return {_TYPE_KEY: "datetime", "v": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {_TYPE_KEY: "date", "v": value.isoformat()}
+    if isinstance(value, bytes):
+        return {_TYPE_KEY: "bytes", "v": value.hex()}
+    if isinstance(value, Mapping):
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        type_tag = value.get(_TYPE_KEY)
+        if type_tag == "oid":
+            return ObjectId(value["v"])
+        if type_tag == "datetime":
+            return _dt.datetime.fromisoformat(value["v"])
+        if type_tag == "date":
+            return _dt.date.fromisoformat(value["v"])
+        if type_tag == "bytes":
+            return bytes.fromhex(value["v"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_document(document: Mapping[str, Any]) -> bytes:
+    """Serialize *document* to the simulated wire format."""
+    return json.dumps(_encode_value(document), separators=(",", ":")).encode("utf-8")
+
+
+def decode_document(payload: bytes) -> dict[str, Any]:
+    """Deserialize a document previously produced by :func:`encode_document`."""
+    return _decode_value(json.loads(payload.decode("utf-8")))
+
+
+def encode_batch(documents: Iterable[Mapping[str, Any]]) -> bytes:
+    """Serialize a batch of documents for a single simulated network message."""
+    return json.dumps(
+        [_encode_value(doc) for doc in documents], separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_batch(payload: bytes) -> list[dict[str, Any]]:
+    """Deserialize a batch previously produced by :func:`encode_batch`."""
+    return [_decode_value(doc) for doc in json.loads(payload.decode("utf-8"))]

@@ -1,0 +1,68 @@
+"""Top-level client.
+
+A :class:`DocumentStoreClient` plays the role of a driver connection to a
+single ``mongod`` process — the stand-alone deployment environment of the
+paper.  The sharded deployment environment is provided by
+:class:`repro.sharding.cluster.ShardedCluster`, which exposes the same
+database/collection API through its query router.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .database import Database
+
+__all__ = ["DocumentStoreClient"]
+
+
+class DocumentStoreClient:
+    """An in-process document store server (stand-alone deployment)."""
+
+    def __init__(self, name: str = "standalone") -> None:
+        self.name = name
+        self._databases: dict[str, Database] = {}
+
+    def __getitem__(self, name: str) -> Database:
+        """Return the database called *name*, creating it lazily."""
+        if name not in self._databases:
+            self._databases[name] = Database(self, name)
+        return self._databases[name]
+
+    def __getattr__(self, name: str) -> Database:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self[name]
+
+    def __iter__(self) -> Iterator[Database]:
+        return iter(list(self._databases.values()))
+
+    def get_database(self, name: str) -> Database:
+        """Return (and lazily create) the database called *name*."""
+        return self[name]
+
+    def list_database_names(self) -> list[str]:
+        """Names of every database, sorted."""
+        return sorted(self._databases)
+
+    def drop_database(self, name: str) -> None:
+        """Drop the database called *name* and all its collections."""
+        database = self._databases.pop(name, None)
+        if database is not None:
+            for collection_name in database.list_collection_names():
+                database.drop_collection(collection_name)
+
+    def server_info(self) -> dict[str, object]:
+        """Server metadata, mirroring the version benchmarked in the paper."""
+        return {
+            "version": "3.0.2-repro",
+            "storageEngine": "in-memory",
+            "deployment": "standalone",
+        }
+
+    def total_data_size(self) -> int:
+        """Total data size across all databases, in bytes."""
+        return sum(int(database.stats()["dataSize"]) for database in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DocumentStoreClient({self.name!r}, databases={len(self._databases)})"

@@ -1,0 +1,507 @@
+"""Collections: the document store's core CRUD + aggregation surface.
+
+A :class:`Collection` owns its documents, its indexes (the default ``_id``
+index plus any user-created secondary indexes), and exposes the operations
+the thesis algorithms rely on:
+
+* ``insert_one`` / ``insert_many`` (data migration, Figure 4.3);
+* ``find`` returning a cursor (EmbedDocuments, Figure 4.7, step 3);
+* ``update_many`` with ``upsert``/``multi`` semantics (Figure 4.7, step 10);
+* ``aggregate`` executing an aggregation pipeline (Appendix B queries);
+* ``create_index`` for the index types of Section 2.1.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+
+from .aggregation import run_pipeline
+from .bson import (
+    deep_copy_document,
+    document_size,
+    ensure_document_size,
+    validate_document,
+    validate_update_values,
+)
+from .cursor import (
+    Cursor,
+    DeleteResult,
+    InsertManyResult,
+    InsertOneResult,
+    UpdateResult,
+    project_document,
+    sort_documents,
+)
+from .errors import (
+    DuplicateKeyError,
+    IndexNotFoundError,
+    OperationFailure,
+)
+from .indexes import ASCENDING, Index, IndexSpec
+from .matching import compile_filter, resolve_path, values_equal
+from .objectid import ObjectId
+from .planner import QueryPlan, plan_query
+from .update import apply_update, build_upsert_document, is_update_document
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+
+__all__ = ["Collection", "CollectionStats"]
+
+
+class CollectionStats:
+    """Size and access statistics for a collection (``collstats`` analogue)."""
+
+    def __init__(self, collection: "Collection") -> None:
+        self.name = collection.name
+        self.count = len(collection)
+        self.size_bytes = collection.data_size()
+        self.storage_size_bytes = self.size_bytes
+        self.index_count = len(collection.index_information())
+        self.index_size_bytes = collection.index_size()
+        self.avg_document_size = (
+            self.size_bytes / self.count if self.count else 0.0
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "ns": self.name,
+            "count": self.count,
+            "size": self.size_bytes,
+            "storageSize": self.storage_size_bytes,
+            "nindexes": self.index_count,
+            "totalIndexSize": self.index_size_bytes,
+            "avgObjSize": self.avg_document_size,
+        }
+
+
+class Collection:
+    """A named set of documents with indexes."""
+
+    def __init__(self, database: "Database | None", name: str) -> None:
+        if not name or "$" in name:
+            raise OperationFailure(f"invalid collection name {name!r}")
+        self._database = database
+        self.name = name
+        self._documents: dict[int, dict[str, Any]] = {}
+        self._doc_id_counter = itertools.count(1)
+        self._indexes: dict[str, Index] = {}
+        self._id_index = Index(IndexSpec(keys=(("_id", ASCENDING),), unique=True, name="_id_"))
+        self._indexes["_id_"] = self._id_index
+        # Operation counters used by benchmarks and the sharded router.
+        self.operation_counters = {
+            "inserts": 0,
+            "queries": 0,
+            "updates": 0,
+            "deletes": 0,
+            "documents_scanned": 0,
+        }
+
+    # ------------------------------------------------------------------ meta
+
+    @property
+    def database(self) -> "Database | None":
+        """The owning database (``None`` for free-standing collections)."""
+        return self._database
+
+    @property
+    def full_name(self) -> str:
+        """The namespaced name, ``database.collection``."""
+        if self._database is None:
+            return self.name
+        return f"{self._database.name}.{self.name}"
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Collection({self.full_name!r}, count={len(self)})"
+
+    def data_size(self) -> int:
+        """Total serialized size of all documents, in bytes."""
+        return sum(document_size(document) for document in self._documents.values())
+
+    def index_size(self) -> int:
+        """Approximate total index size, in bytes (16 bytes per entry)."""
+        return sum(16 * len(index) for index in self._indexes.values())
+
+    def stats(self) -> CollectionStats:
+        """Return collection statistics."""
+        return CollectionStats(self)
+
+    # --------------------------------------------------------------- indexes
+
+    def create_index(
+        self,
+        keys: str | Sequence[tuple[str, Any]] | Mapping[str, Any],
+        *,
+        unique: bool = False,
+        name: str = "",
+    ) -> str:
+        """Create a secondary index and return its name.
+
+        Re-creating an index with an identical specification is a no-op.
+        """
+        spec = IndexSpec.from_key_specification(keys, unique=unique, name=name)
+        if spec.name in self._indexes:
+            return spec.name
+        index = Index(spec)
+        for doc_id, document in self._documents.items():
+            index.insert(document, doc_id)
+        self._indexes[spec.name] = index
+        return spec.name
+
+    def drop_index(self, name: str) -> None:
+        """Drop the index called *name* (the ``_id`` index cannot be dropped)."""
+        if name == "_id_":
+            raise OperationFailure("cannot drop the _id index")
+        if name not in self._indexes:
+            raise IndexNotFoundError(name)
+        del self._indexes[name]
+
+    def index_information(self) -> dict[str, dict[str, Any]]:
+        """Describe every index on the collection."""
+        return {
+            name: {"key": list(index.spec.keys), "unique": index.spec.unique}
+            for name, index in self._indexes.items()
+        }
+
+    def _index_map(self) -> Mapping[str, Index]:
+        return self._indexes
+
+    # --------------------------------------------------------------- inserts
+
+    def insert_one(self, document: Mapping[str, Any]) -> InsertOneResult:
+        """Insert a single document, assigning an ``ObjectId`` if needed."""
+        prepared = deep_copy_document(dict(document))
+        if "_id" not in prepared:
+            prepared["_id"] = ObjectId()
+        validate_document(prepared)
+        self._insert_prepared(prepared)
+        self.operation_counters["inserts"] += 1
+        return InsertOneResult(inserted_id=prepared["_id"])
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertManyResult:
+        """Insert many documents; stops at the first failure (ordered mode)."""
+        inserted_ids: list[Any] = []
+        for document in documents:
+            result = self.insert_one(document)
+            inserted_ids.append(result.inserted_id)
+        return InsertManyResult(inserted_ids=inserted_ids)
+
+    def _insert_prepared(self, document: dict[str, Any]) -> int:
+        doc_id = next(self._doc_id_counter)
+        # Insert into the unique _id index first so duplicates abort cleanly.
+        self._id_index.insert(document, doc_id)
+        try:
+            for name, index in self._indexes.items():
+                if name == "_id_":
+                    continue
+                index.insert(document, doc_id)
+        except DuplicateKeyError:
+            self._id_index.remove(document, doc_id)
+            raise
+        self._documents[doc_id] = document
+        return doc_id
+
+    # ---------------------------------------------------------------- reads
+
+    def _candidate_ids(self, query: Mapping[str, Any] | None) -> tuple[QueryPlan, Iterable[int]]:
+        plan = plan_query(query, self._indexes, len(self._documents))
+        if plan.stage == "IXSCAN" and plan.candidate_ids is not None:
+            return plan, plan.candidate_ids
+        return plan, list(self._documents.keys())
+
+    def _find_documents(self, query: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+        predicate = compile_filter(query)
+        _plan, candidate_ids = self._candidate_ids(query)
+        matched = []
+        scanned = 0
+        for doc_id in candidate_ids:
+            document = self._documents.get(doc_id)
+            if document is None:
+                continue
+            scanned += 1
+            if predicate(document):
+                matched.append(deep_copy_document(document))
+        self.operation_counters["queries"] += 1
+        self.operation_counters["documents_scanned"] += scanned
+        return matched
+
+    def find(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+    ) -> Cursor:
+        """Return a cursor over the documents matching *query*."""
+        return Cursor(lambda: self._find_documents(query), projection=projection)
+
+    def find_one(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any] | None:
+        """Return one matching document, or ``None``."""
+        for document in self.find(query, projection).limit(1):
+            return document
+        return None
+
+    def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
+        """Count the documents matching *query*."""
+        if not query:
+            return len(self._documents)
+        return len(self._find_documents(query))
+
+    def distinct(self, key: str, query: Mapping[str, Any] | None = None) -> list[Any]:
+        """Return the distinct values of *key* among matching documents."""
+        values: list[Any] = []
+        for document in self._find_documents(query):
+            for value in resolve_path(document, key):
+                candidates = value if isinstance(value, list) else [value]
+                for candidate in candidates:
+                    if not any(values_equal(candidate, existing) for existing in values):
+                        values.append(candidate)
+        return values
+
+    def explain(self, query: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Return the access plan chosen for *query* (``explain()`` analogue)."""
+        plan, _candidates = self._candidate_ids(query)
+        return {"queryPlanner": {"winningPlan": plan.describe()}}
+
+    # --------------------------------------------------------------- updates
+
+    @staticmethod
+    def _paths_touched_by_update(update: Mapping[str, Any]) -> set[str] | None:
+        """Field paths an operator update can modify (``None`` = everything)."""
+        if not is_update_document(update):
+            return None
+        touched: set[str] = set()
+        for operator, changes in update.items():
+            if not isinstance(changes, Mapping):
+                continue
+            touched.update(str(path) for path in changes)
+            if operator == "$rename":
+                touched.update(str(target) for target in changes.values())
+        return touched
+
+    @staticmethod
+    def _index_overlaps_paths(index: Index, paths: set[str]) -> bool:
+        """True when any indexed field could be affected by the touched paths."""
+        for field_path in index.spec.fields:
+            for touched in paths:
+                if (
+                    field_path == touched
+                    or field_path.startswith(touched + ".")
+                    or touched.startswith(field_path + ".")
+                ):
+                    return True
+        return False
+
+    def _update(
+        self,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool,
+        multi: bool,
+    ) -> UpdateResult:
+        predicate = compile_filter(query)
+        _plan, candidate_ids = self._candidate_ids(query)
+        touched_paths = self._paths_touched_by_update(update)
+        if touched_paths is None:
+            affected_indexes = list(self._indexes.values())
+        else:
+            affected_indexes = [
+                index
+                for index in self._indexes.values()
+                if self._index_overlaps_paths(index, touched_paths)
+            ]
+            # Operator updates carry their new values in the update document;
+            # validating them once here means the per-document step below only
+            # needs the 16 MB size guard.
+            for operator, changes in update.items():
+                if operator in ("$set", "$setOnInsert", "$push", "$addToSet") and isinstance(
+                    changes, Mapping
+                ):
+                    validate_update_values(list(changes.values()))
+        matched = 0
+        modified = 0
+        for doc_id in list(candidate_ids):
+            document = self._documents.get(doc_id)
+            if document is None or not predicate(document):
+                continue
+            matched += 1
+            new_document = apply_update(document, update)
+            if not values_equal(new_document.get("_id"), document.get("_id")):
+                raise OperationFailure("the _id field is immutable")
+            if new_document != document:
+                if touched_paths is None:
+                    validate_document(new_document)
+                else:
+                    ensure_document_size(new_document)
+                for index in affected_indexes:
+                    index.replace(document, new_document, doc_id)
+                self._documents[doc_id] = new_document
+                modified += 1
+            if not multi:
+                break
+        upserted_id = None
+        if matched == 0 and upsert:
+            seed = build_upsert_document(query or {}, update)
+            if "_id" not in seed:
+                seed["_id"] = ObjectId()
+            validate_document(seed)
+            self._insert_prepared(seed)
+            upserted_id = seed["_id"]
+        self.operation_counters["updates"] += 1
+        return UpdateResult(matched_count=matched, modified_count=modified, upserted_id=upserted_id)
+
+    def update_one(
+        self,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Update the first matching document."""
+        return self._update(query, update, upsert=upsert, multi=False)
+
+    def update_many(
+        self,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Update every matching document (the thesis' ``multi=true``)."""
+        if not is_update_document(update):
+            raise OperationFailure("update_many requires update operators")
+        return self._update(query, update, upsert=upsert, multi=True)
+
+    def replace_one(
+        self,
+        query: Mapping[str, Any] | None,
+        replacement: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Replace the first matching document with *replacement*."""
+        if is_update_document(replacement):
+            raise OperationFailure("replace_one requires a plain replacement document")
+        return self._update(query, replacement, upsert=upsert, multi=False)
+
+    # --------------------------------------------------------------- deletes
+
+    def _delete(self, query: Mapping[str, Any] | None, *, multi: bool) -> DeleteResult:
+        predicate = compile_filter(query)
+        _plan, candidate_ids = self._candidate_ids(query)
+        deleted = 0
+        for doc_id in list(candidate_ids):
+            document = self._documents.get(doc_id)
+            if document is None or not predicate(document):
+                continue
+            for index in self._indexes.values():
+                index.remove(document, doc_id)
+            del self._documents[doc_id]
+            deleted += 1
+            if not multi:
+                break
+        self.operation_counters["deletes"] += 1
+        return DeleteResult(deleted_count=deleted)
+
+    def delete_one(self, query: Mapping[str, Any] | None) -> DeleteResult:
+        """Delete the first matching document."""
+        return self._delete(query, multi=False)
+
+    def delete_many(self, query: Mapping[str, Any] | None) -> DeleteResult:
+        """Delete every matching document."""
+        return self._delete(query, multi=True)
+
+    def drop(self) -> None:
+        """Remove every document and every secondary index."""
+        self._documents.clear()
+        for index in self._indexes.values():
+            index.clear()
+        self._indexes = {"_id_": self._id_index}
+
+    # ----------------------------------------------------------- aggregation
+
+    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline over the collection."""
+        collection_resolver = None
+        output_writer = None
+        if self._database is not None:
+            database = self._database
+
+            def collection_resolver(name: str) -> list[dict[str, Any]]:
+                return database[name].find().to_list()
+
+            def output_writer(name: str, documents: list[dict[str, Any]]) -> None:
+                target = database[name]
+                target.drop()
+                target.insert_many(documents)
+
+        # A leading $match can be served from an index, exactly like find():
+        # the planner narrows the candidate documents and the pipeline's own
+        # $match still re-filters them, so the result is unchanged.
+        source: Iterable[Mapping[str, Any]]
+        if pipeline and isinstance(pipeline[0], Mapping) and "$match" in pipeline[0]:
+            plan = plan_query(pipeline[0]["$match"], self._indexes, len(self._documents))
+            if plan.stage == "IXSCAN" and plan.candidate_ids is not None:
+                source = (
+                    self._documents[doc_id]
+                    for doc_id in plan.candidate_ids
+                    if doc_id in self._documents
+                )
+            else:
+                source = self.raw_documents()
+        else:
+            source = self.raw_documents()
+
+        # The pipeline never mutates its input documents (stages copy before
+        # modifying), so aggregation reads the stored documents directly
+        # instead of paying a defensive deep copy per document.
+        return run_pipeline(
+            source,
+            pipeline,
+            collection_resolver=collection_resolver,
+            output_writer=output_writer,
+        )
+
+    # ------------------------------------------------------------- iteration
+
+    def all_documents(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of every stored document (insertion order)."""
+        for document in self._documents.values():
+            yield deep_copy_document(document)
+
+    def raw_documents(self) -> Iterator[Mapping[str, Any]]:
+        """Iterate over the stored documents without copying.
+
+        Intended for read-only fast paths (aggregation over large collections
+        and the shard data-transfer path); callers must not mutate the
+        returned documents.
+        """
+        yield from self._documents.values()
+
+    def find_with_options(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+        sort: Sequence[tuple[str, int]] | None = None,
+        skip: int = 0,
+        limit: int = 0,
+    ) -> list[dict[str, Any]]:
+        """One-shot find used by the sharded router (no cursor chaining)."""
+        documents = self._find_documents(query)
+        if sort:
+            documents = sort_documents(documents, sort)
+        if skip:
+            documents = documents[skip:]
+        if limit:
+            documents = documents[:limit]
+        if projection:
+            documents = [project_document(doc, projection) for doc in documents]
+        return documents

@@ -1,0 +1,238 @@
+"""Cursors and operation results.
+
+``find()`` returns a :class:`Cursor` (Section 4.1.3.1 of the thesis iterates
+such cursors in the EmbedDocuments algorithm).  Write operations return small
+result objects mirroring the driver API the thesis code was written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .errors import OperationFailure
+from .matching import compare_values, resolve_path_single
+
+__all__ = [
+    "Cursor",
+    "InsertOneResult",
+    "InsertManyResult",
+    "UpdateResult",
+    "DeleteResult",
+    "sort_documents",
+    "project_document",
+]
+
+
+def sort_documents(
+    documents: list[dict[str, Any]],
+    sort_specification: Sequence[tuple[str, int]] | Mapping[str, int],
+) -> list[dict[str, Any]]:
+    """Return *documents* sorted by the given ``(field, direction)`` pairs."""
+    if isinstance(sort_specification, Mapping):
+        pairs = list(sort_specification.items())
+    else:
+        pairs = list(sort_specification)
+    ordered = list(documents)
+    # Sort by the least-significant key first so the sort is stable overall.
+    for field_path, direction in reversed(pairs):
+        if direction not in (1, -1):
+            raise OperationFailure(f"sort direction must be 1 or -1, got {direction!r}")
+        import functools
+
+        ordered.sort(
+            key=functools.cmp_to_key(
+                lambda left, right, path=field_path: compare_values(
+                    resolve_path_single(left, path), resolve_path_single(right, path)
+                )
+            ),
+            reverse=direction == -1,
+        )
+    return ordered
+
+
+def project_document(
+    document: Mapping[str, Any],
+    projection: Mapping[str, Any] | None,
+) -> dict[str, Any]:
+    """Apply a find()-style inclusion/exclusion projection."""
+    if not projection:
+        return dict(document)
+    inclusions = {k: v for k, v in projection.items() if k != "_id" and v}
+    exclusions = {k: v for k, v in projection.items() if k != "_id" and not v}
+    if inclusions and exclusions:
+        raise OperationFailure("cannot mix inclusion and exclusion in a projection")
+    include_id = bool(projection.get("_id", True))
+
+    if inclusions:
+        projected: dict[str, Any] = {}
+        for path in inclusions:
+            value = resolve_path_single(document, path, default=None)
+            if value is None and "." not in path and path not in document:
+                continue
+            _set_nested(projected, path, value)
+        if include_id and "_id" in document:
+            projected["_id"] = document["_id"]
+        return projected
+
+    projected = {k: v for k, v in document.items()}
+    for path in exclusions:
+        _remove_nested(projected, path)
+    if not include_id:
+        projected.pop("_id", None)
+    return projected
+
+
+def _set_nested(target: dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    node = target
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    node[parts[-1]] = value
+
+
+def _remove_nested(target: dict[str, Any], path: str) -> None:
+    parts = path.split(".")
+    node: Any = target
+    for part in parts[:-1]:
+        if not isinstance(node, dict) or part not in node:
+            return
+        node = node[part]
+    if isinstance(node, dict):
+        node.pop(parts[-1], None)
+
+
+class Cursor:
+    """Lazy, chainable result iterator for ``find()``.
+
+    ``sort``, ``skip``, and ``limit`` may be chained before iteration starts;
+    iteration materializes the results once and then behaves like a plain
+    iterator (``hasNext``/``next`` style access is available via ``alive`` and
+    ``next``).
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[], Iterable[dict[str, Any]]],
+        projection: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._fetch = fetch
+        self._projection = projection
+        self._sort: list[tuple[str, int]] | None = None
+        self._skip = 0
+        self._limit: int | None = None
+        self._materialized: list[dict[str, Any]] | None = None
+        self._position = 0
+
+    # -- chaining ----------------------------------------------------------
+
+    def sort(self, key_or_list: str | Sequence[tuple[str, int]], direction: int = 1) -> "Cursor":
+        """Sort the results; accepts a field name or a list of pairs."""
+        self._assert_not_started()
+        if isinstance(key_or_list, str):
+            self._sort = [(key_or_list, direction)]
+        else:
+            self._sort = [(field_path, dir_) for field_path, dir_ in key_or_list]
+        return self
+
+    def skip(self, count: int) -> "Cursor":
+        """Skip the first *count* results."""
+        self._assert_not_started()
+        if count < 0:
+            raise OperationFailure("skip must be non-negative")
+        self._skip = count
+        return self
+
+    def limit(self, count: int) -> "Cursor":
+        """Limit the number of returned results."""
+        self._assert_not_started()
+        if count < 0:
+            raise OperationFailure("limit must be non-negative")
+        self._limit = count or None
+        return self
+
+    def _assert_not_started(self) -> None:
+        if self._materialized is not None:
+            raise OperationFailure("cannot modify a cursor after iteration started")
+
+    # -- iteration ----------------------------------------------------------
+
+    def _materialize(self) -> list[dict[str, Any]]:
+        if self._materialized is None:
+            documents = list(self._fetch())
+            if self._sort:
+                documents = sort_documents(documents, self._sort)
+            if self._skip:
+                documents = documents[self._skip:]
+            if self._limit is not None:
+                documents = documents[: self._limit]
+            if self._projection:
+                documents = [project_document(doc, self._projection) for doc in documents]
+            self._materialized = documents
+        return self._materialized
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for document in self._materialize():
+            yield document
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self._materialize()[index]
+
+    @property
+    def alive(self) -> bool:
+        """True while there are unread results (``cursor.hasNext()``)."""
+        return self._position < len(self._materialize())
+
+    def next(self) -> dict[str, Any]:
+        """Return the next unread document (``cursor.next()``)."""
+        documents = self._materialize()
+        if self._position >= len(documents):
+            raise StopIteration("cursor exhausted")
+        document = documents[self._position]
+        self._position += 1
+        return document
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """Materialize and return every result as a list."""
+        return list(self._materialize())
+
+    def count(self) -> int:
+        """Return the number of results."""
+        return len(self._materialize())
+
+
+@dataclass(frozen=True)
+class InsertOneResult:
+    """Result of ``insert_one``."""
+
+    inserted_id: Any
+    acknowledged: bool = True
+
+
+@dataclass(frozen=True)
+class InsertManyResult:
+    """Result of ``insert_many``."""
+
+    inserted_ids: list[Any] = field(default_factory=list)
+    acknowledged: bool = True
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Result of ``update_one`` / ``update_many``."""
+
+    matched_count: int
+    modified_count: int
+    upserted_id: Any | None = None
+    acknowledged: bool = True
+
+
+@dataclass(frozen=True)
+class DeleteResult:
+    """Result of ``delete_one`` / ``delete_many``."""
+
+    deleted_count: int
+    acknowledged: bool = True

@@ -1,0 +1,320 @@
+"""Secondary indexes.
+
+Section 2.1.2 of the paper describes the index types the store must provide:
+the default ``_id`` index, single-field indexes, compound indexes with index
+prefixes, multikey indexes over arrays of embedded documents, and hashed
+indexes (used for hash-based shard keys).  Geospatial and text indexes are not
+needed by any thesis workload and are intentionally out of scope.
+
+Indexes are kept as sorted arrays of ``(key, document_id)`` pairs with binary
+search for point and range lookups — an array-backed B-tree stand-in with the
+same asymptotics for reads (``O(log n)`` lookups) that the thesis analysis
+assumes in Section 4.1.3.1.1.
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .bson import encode_document
+from .errors import DuplicateKeyError, OperationFailure
+from .matching import compare_values, resolve_path
+
+__all__ = ["IndexSpec", "Index", "hashed_value", "ASCENDING", "DESCENDING", "HASHED"]
+
+ASCENDING = 1
+DESCENDING = -1
+HASHED = "hashed"
+
+_MISSING_KEY = None  # documents without the indexed field index a null key
+
+#: Canonical index key stored for embedded-document values.  Indexing the
+#: deep value of an embedded document is never useful to the reproduction's
+#: query planner but is very expensive to keep sorted (the denormalization
+#: algorithm replaces millions of scalar foreign keys with documents), so
+#: every document-valued key collapses to this marker.  Lookups canonicalize
+#: their operands the same way, which keeps index results a superset of the
+#: true matches — the matcher always re-checks candidates.
+_EMBEDDED_DOCUMENT_KEY = "\x00$embedded-document"
+
+
+def _canonical_key_value(value: Any) -> Any:
+    """Map a document value to the value actually stored in the index."""
+    if isinstance(value, Mapping):
+        return _EMBEDDED_DOCUMENT_KEY
+    return value
+
+
+def hashed_value(value: Any) -> int:
+    """Return the 64-bit hash used by hashed indexes and hashed shard keys."""
+    if isinstance(value, (dict, list, tuple)):
+        payload = encode_document({"v": value})
+    else:
+        payload = repr(value).encode("utf-8")
+    digest = hashlib.md5(payload).digest()
+    return int.from_bytes(digest[:8], "big", signed=False)
+
+
+@functools.total_ordering
+class _OrderedKey:
+    """Wrapper giving arbitrary BSON-ish values a total order for bisect."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderedKey):
+            return NotImplemented
+        return compare_values(self.value, other.value) == 0
+
+    def __lt__(self, other: "_OrderedKey") -> bool:
+        return compare_values(self.value, other.value) < 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_OrderedKey({self.value!r})"
+
+
+def _ordered_tuple(values: Sequence[Any]) -> tuple[_OrderedKey, ...]:
+    return tuple(_OrderedKey(value) for value in values)
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Declarative description of an index.
+
+    ``keys`` is an ordered sequence of ``(field, direction)`` pairs where
+    direction is ``1`` (ascending), ``-1`` (descending), or ``"hashed"``.
+    """
+
+    keys: tuple[tuple[str, Any], ...]
+    unique: bool = False
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise OperationFailure("an index requires at least one key")
+        hashed_fields = [f for f, direction in self.keys if direction == HASHED]
+        if hashed_fields and len(self.keys) > 1:
+            raise OperationFailure("hashed indexes must be single-field")
+        if not self.name:
+            generated = "_".join(f"{field_}_{direction}" for field_, direction in self.keys)
+            object.__setattr__(self, "name", generated)
+
+    @classmethod
+    def from_key_specification(
+        cls,
+        keys: str | Sequence[tuple[str, Any]] | Mapping[str, Any],
+        *,
+        unique: bool = False,
+        name: str = "",
+    ) -> "IndexSpec":
+        """Build a spec from the flexible forms accepted by ``create_index``."""
+        if isinstance(keys, str):
+            normalized: tuple[tuple[str, Any], ...] = ((keys, ASCENDING),)
+        elif isinstance(keys, Mapping):
+            normalized = tuple((str(k), v) for k, v in keys.items())
+        else:
+            normalized = tuple((str(k), v) for k, v in keys)
+        return cls(keys=normalized, unique=unique, name=name)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The indexed field paths, in declaration order."""
+        return tuple(field_ for field_, _direction in self.keys)
+
+    @property
+    def is_hashed(self) -> bool:
+        """True if this is a hashed (single-field) index."""
+        return any(direction == HASHED for _field, direction in self.keys)
+
+
+class Index:
+    """A sorted-array secondary index over one collection."""
+
+    def __init__(self, spec: IndexSpec) -> None:
+        self.spec = spec
+        # Parallel arrays: _keys is sorted; _entries[i] is (raw_key, doc_id).
+        self._keys: list[tuple[_OrderedKey, ...]] = []
+        self._entries: list[tuple[tuple[Any, ...], int]] = []
+
+    # -- key extraction ----------------------------------------------------
+
+    def keys_for_document(self, document: Mapping[str, Any]) -> list[tuple[Any, ...]]:
+        """Return every index key produced by *document* (multikey fan-out)."""
+        per_field_values: list[list[Any]] = []
+        for field_path, direction in self.spec.keys:
+            values = resolve_path(document, field_path)
+            if not values:
+                values = [_MISSING_KEY]
+            expanded: list[Any] = []
+            for value in values:
+                if isinstance(value, (list, tuple)):
+                    # Multikey: each array element produces its own key.
+                    expanded.extend(value if value else [_MISSING_KEY])
+                else:
+                    expanded.append(value)
+            if direction == HASHED:
+                expanded = [hashed_value(value) for value in expanded]
+            else:
+                expanded = [_canonical_key_value(value) for value in expanded]
+            per_field_values.append(expanded)
+
+        keys: list[tuple[Any, ...]] = [()]
+        for values in per_field_values:
+            keys = [existing + (value,) for existing in keys for value in values]
+        # Deduplicate while keeping deterministic order.
+        seen: set[str] = set()
+        unique_keys = []
+        for key in keys:
+            marker = repr(key)
+            if marker not in seen:
+                seen.add(marker)
+                unique_keys.append(key)
+        return unique_keys
+
+    # -- maintenance ---------------------------------------------------------
+
+    def insert(self, document: Mapping[str, Any], doc_id: int) -> None:
+        """Index *document* stored under *doc_id*."""
+        for key in self.keys_for_document(document):
+            ordered = _ordered_tuple(key)
+            if self.spec.unique:
+                position = bisect.bisect_left(self._keys, ordered)
+                if position < len(self._keys) and self._keys[position] == ordered:
+                    raise DuplicateKeyError(self.spec.name, key)
+            position = bisect.bisect_right(self._keys, ordered)
+            self._keys.insert(position, ordered)
+            self._entries.insert(position, (key, doc_id))
+
+    def remove(self, document: Mapping[str, Any], doc_id: int) -> None:
+        """Remove the entries of *document* stored under *doc_id*."""
+        for key in self.keys_for_document(document):
+            ordered = _ordered_tuple(key)
+            position = bisect.bisect_left(self._keys, ordered)
+            while position < len(self._keys) and self._keys[position] == ordered:
+                if self._entries[position][1] == doc_id:
+                    del self._keys[position]
+                    del self._entries[position]
+                    break
+                position += 1
+
+    def replace(
+        self,
+        old_document: Mapping[str, Any],
+        new_document: Mapping[str, Any],
+        doc_id: int,
+    ) -> None:
+        """Re-index *doc_id* after an update changed the document."""
+        self.remove(old_document, doc_id)
+        self.insert(new_document, doc_id)
+
+    def clear(self) -> None:
+        """Drop every entry (used when a collection is emptied)."""
+        self._keys.clear()
+        self._entries.clear()
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def point_lookup(self, key: Sequence[Any]) -> list[int]:
+        """Return the document ids whose full index key equals *key*."""
+        if self.spec.is_hashed:
+            key = tuple(hashed_value(value) for value in key)
+        else:
+            key = tuple(_canonical_key_value(value) for value in key)
+        ordered = _ordered_tuple(tuple(key))
+        position = bisect.bisect_left(self._keys, ordered)
+        matches: list[int] = []
+        while position < len(self._keys) and self._keys[position] == ordered:
+            matches.append(self._entries[position][1])
+            position += 1
+        return matches
+
+    def prefix_lookup(self, prefix: Sequence[Any]) -> list[int]:
+        """Return document ids whose key starts with *prefix* (index prefix)."""
+        ordered_prefix = _ordered_tuple(
+            tuple(_canonical_key_value(value) for value in prefix)
+        )
+        position = bisect.bisect_left(self._keys, ordered_prefix)
+        matches: list[int] = []
+        while position < len(self._keys):
+            key = self._keys[position]
+            if key[: len(ordered_prefix)] != ordered_prefix:
+                break
+            matches.append(self._entries[position][1])
+            position += 1
+        return matches
+
+    def range_lookup(
+        self,
+        lower: Any = None,
+        upper: Any = None,
+        *,
+        include_lower: bool = True,
+        include_upper: bool = True,
+    ) -> list[int]:
+        """Range scan over the first indexed field.
+
+        Hashed indexes cannot serve range scans; callers must fall back to a
+        collection scan (this mirrors the behaviour the paper notes for
+        hash-based partitioning in Section 2.1.3.3).
+        """
+        if self.spec.is_hashed:
+            raise OperationFailure("hashed indexes do not support range scans")
+        lower = _canonical_key_value(lower) if lower is not None else None
+        upper = _canonical_key_value(upper) if upper is not None else None
+        if lower is None:
+            start = 0
+        else:
+            bound = (_OrderedKey(lower),)
+            start = (
+                bisect.bisect_left(self._keys, bound)
+                if include_lower
+                else bisect.bisect_right(self._keys, bound + (_OrderedKey(_Max()),))
+            )
+        matches: list[int] = []
+        for position in range(start, len(self._keys)):
+            first = self._entries[position][0][0]
+            if lower is not None:
+                ordering = compare_values(first, lower)
+                if ordering < 0 or (ordering == 0 and not include_lower):
+                    continue
+            if upper is not None:
+                ordering = compare_values(first, upper)
+                if ordering > 0 or (ordering == 0 and not include_upper):
+                    break
+            matches.append(self._entries[position][1])
+        return matches
+
+    def scan(self, reverse: bool = False) -> Iterator[tuple[tuple[Any, ...], int]]:
+        """Iterate over ``(key, doc_id)`` pairs in key order."""
+        entries: Iterable[tuple[tuple[Any, ...], int]] = self._entries
+        if reverse:
+            entries = reversed(self._entries)
+        yield from entries
+
+    def distinct_first_values(self) -> list[Any]:
+        """Distinct values of the leading key (used for chunk split points)."""
+        distinct: list[Any] = []
+        previous: object = object()
+        for key, _doc_id in self._entries:
+            first = key[0]
+            if previous is object() or compare_values(first, previous) != 0:
+                distinct.append(first)
+                previous = first
+        return distinct
+
+
+class _Max:
+    """Sentinel comparing greater than every other ordered key."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "_Max()"

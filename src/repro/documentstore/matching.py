@@ -1,0 +1,448 @@
+"""Query-filter matching.
+
+Implements the find()/``$match`` filter language used by the thesis queries
+(Appendix B) and by the migration / translation algorithms:
+
+* dotted-path field access (``"ss_cdemo_sk.cd_gender"``), including descent
+  into arrays of embedded documents (multikey semantics);
+* comparison operators ``$eq``, ``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``;
+* set operators ``$in`` and ``$nin``;
+* logical operators ``$and``, ``$or``, ``$nor``, ``$not``;
+* element operators ``$exists`` and ``$type``;
+* evaluation operators ``$regex`` and ``$mod``;
+* array operators ``$all``, ``$size``, and ``$elemMatch``.
+
+The matcher is deliberately free of any storage concerns so that both the
+stand-alone collection scan and the per-shard scans in the sharded cluster can
+share it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .errors import InvalidOperator, OperationFailure
+from .objectid import ObjectId
+
+__all__ = [
+    "resolve_path",
+    "resolve_path_single",
+    "matches",
+    "compile_filter",
+    "compare_values",
+    "values_equal",
+]
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Dotted-path resolution
+# ---------------------------------------------------------------------------
+
+def resolve_path(document: Any, path: str) -> list[Any]:
+    """Return every value reachable at *path* inside *document*.
+
+    A dotted path descends through embedded documents; when it meets an array
+    it fans out across elements (multikey behaviour).  Numeric path components
+    additionally index into arrays.  Missing branches produce no values.
+    """
+    parts = path.split(".") if path else []
+    return list(_walk(document, parts))
+
+
+def _walk(node: Any, parts: Sequence[str]) -> Iterable[Any]:
+    if not parts:
+        yield node
+        return
+    head, rest = parts[0], parts[1:]
+    if isinstance(node, Mapping):
+        if head in node:
+            yield from _walk(node[head], rest)
+        return
+    if isinstance(node, (list, tuple)):
+        if head.isdigit():
+            index = int(head)
+            if 0 <= index < len(node):
+                yield from _walk(node[index], rest)
+        for item in node:
+            if isinstance(item, Mapping) and head in item:
+                yield from _walk(item[head], rest)
+        return
+    # Scalars terminate the walk without producing a value.
+
+
+def resolve_path_single(document: Any, path: str, default: Any = None) -> Any:
+    """Return the first value at *path*, or *default* if the path is missing."""
+    values = resolve_path(document, path)
+    if not values:
+        return default
+    return values[0]
+
+
+def path_exists(document: Any, path: str) -> bool:
+    """Return ``True`` if *path* resolves to at least one value (even None)."""
+    parts = path.split(".") if path else []
+    return _exists(document, parts)
+
+
+def _exists(node: Any, parts: Sequence[str]) -> bool:
+    if not parts:
+        return True
+    head, rest = parts[0], parts[1:]
+    if isinstance(node, Mapping):
+        return head in node and _exists(node[head], rest)
+    if isinstance(node, (list, tuple)):
+        if head.isdigit():
+            index = int(head)
+            if 0 <= index < len(node) and _exists(node[index], rest):
+                return True
+        return any(
+            isinstance(item, Mapping) and head in item and _exists(item[head], rest)
+            for item in node
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Value comparison with a BSON-like type order
+# ---------------------------------------------------------------------------
+
+_TYPE_ORDER: tuple[tuple[type, ...], ...] = (
+    (type(None),),
+    (bool,),
+    (int, float),
+    (str,),
+    (dict,),
+    (list, tuple),
+    (bytes,),
+    (ObjectId,),
+    (_dt.date, _dt.datetime),
+)
+
+# Exact-type fast path: avoids repeated ABC isinstance checks on the hot
+# comparison path (index maintenance compares millions of keys).
+_EXACT_TYPE_RANK: dict[type, int] = {
+    type(None): 0,
+    bool: 1,
+    int: 2,
+    float: 2,
+    str: 3,
+    dict: 4,
+    list: 5,
+    tuple: 5,
+    bytes: 6,
+    ObjectId: 7,
+    _dt.date: 8,
+    _dt.datetime: 8,
+}
+
+
+def _type_rank(value: Any) -> int:
+    rank = _EXACT_TYPE_RANK.get(type(value))
+    if rank is not None:
+        return rank
+    # bool must be checked before int because bool is a subclass of int.
+    if isinstance(value, bool):
+        return 1
+    for position, types in enumerate(_TYPE_ORDER):
+        if isinstance(value, types) or (value is None and types[0] is type(None)):
+            return position
+    return len(_TYPE_ORDER)
+
+
+def compare_values(left: Any, right: Any) -> int:
+    """Three-way comparison of two values using a BSON-like total order.
+
+    Returns a negative number, zero, or a positive number.  Values of
+    different types compare by their type rank, which makes every pair of
+    values comparable (needed by sort and by range chunk assignment).
+    """
+    # Fast path for the by-far most common case on the index hot path:
+    # two numbers (or two strings) of the same concrete type.
+    left_type, right_type = type(left), type(right)
+    if left_type is right_type and left_type in (int, float, str):
+        return (left > right) - (left < right)
+    left_rank, right_rank = _type_rank(left), _type_rank(right)
+    if left_rank != right_rank:
+        return -1 if left_rank < right_rank else 1
+    if left is None and right is None:
+        return 0
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        for left_item, right_item in zip(left, right):
+            result = compare_values(left_item, right_item)
+            if result:
+                return result
+        return (len(left) > len(right)) - (len(left) < len(right))
+    if isinstance(left, Mapping) and isinstance(right, Mapping):
+        return compare_values(
+            sorted(left.items(), key=lambda kv: kv[0]),
+            sorted(right.items(), key=lambda kv: kv[0]),
+        )
+    if isinstance(left, ObjectId) and isinstance(right, ObjectId):
+        return (left.binary > right.binary) - (left.binary < right.binary)
+    if isinstance(left, _dt.datetime) != isinstance(right, _dt.datetime):
+        # Promote plain dates so dates and datetimes compare cleanly.
+        if isinstance(left, _dt.date) and not isinstance(left, _dt.datetime):
+            left = _dt.datetime(left.year, left.month, left.day)
+        if isinstance(right, _dt.date) and not isinstance(right, _dt.datetime):
+            right = _dt.datetime(right.year, right.month, right.day)
+    try:
+        return (left > right) - (left < right)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise OperationFailure(f"cannot compare {left!r} and {right!r}") from exc
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Equality that treats ints and floats as interchangeable."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    if _type_rank(left) != _type_rank(right):
+        return False
+    return compare_values(left, right) == 0
+
+
+# ---------------------------------------------------------------------------
+# Operator predicates
+# ---------------------------------------------------------------------------
+
+def _cmp_predicate(operand: Any, check: Callable[[int], bool]) -> Callable[[Any], bool]:
+    operand_rank = _type_rank(operand)
+
+    def predicate(value: Any) -> bool:
+        if value is _MISSING:
+            return False
+        if _type_rank(value) != operand_rank:
+            return False
+        return check(compare_values(value, operand))
+
+    return predicate
+
+
+def _build_operator_predicate(path: str, operator: str, operand: Any) -> Callable[[Any], bool]:
+    """Build a predicate over a document for a single ``{path: {op: operand}}``."""
+    if operator in ("$eq", "$ne"):
+        def eq_values(value: Any) -> bool:
+            if value is _MISSING:
+                return operand is None
+            if isinstance(value, (list, tuple)) and not isinstance(operand, (list, tuple)):
+                return any(values_equal(item, operand) for item in value)
+            return values_equal(value, operand)
+
+        if operator == "$eq":
+            field_predicate = eq_values
+        else:
+            field_predicate = lambda value: not eq_values(value)  # noqa: E731
+    elif operator == "$gt":
+        field_predicate = _cmp_predicate(operand, lambda c: c > 0)
+    elif operator == "$gte":
+        field_predicate = _cmp_predicate(operand, lambda c: c >= 0)
+    elif operator == "$lt":
+        field_predicate = _cmp_predicate(operand, lambda c: c < 0)
+    elif operator == "$lte":
+        field_predicate = _cmp_predicate(operand, lambda c: c <= 0)
+    elif operator in ("$in", "$nin"):
+        if not isinstance(operand, (list, tuple, set, frozenset)):
+            raise InvalidOperator(f"{operator} requires a list operand")
+        choices = list(operand)
+        hashable: set[Any] = set()
+        unhashable: list[Any] = []
+        for choice in choices:
+            try:
+                hashable.add(choice)
+            except TypeError:
+                unhashable.append(choice)
+
+        def in_values(value: Any) -> bool:
+            candidates = value if isinstance(value, (list, tuple)) else [value]
+            for candidate in candidates:
+                if candidate is _MISSING:
+                    candidate = None
+                try:
+                    if candidate in hashable:
+                        return True
+                except TypeError:
+                    pass
+                if any(values_equal(candidate, choice) for choice in choices):
+                    return True
+            return False
+
+        if operator == "$in":
+            field_predicate = in_values
+        else:
+            field_predicate = lambda value: not in_values(value)  # noqa: E731
+    elif operator == "$exists":
+        expected = bool(operand)
+
+        def exists_predicate(value: Any) -> bool:
+            return (value is not _MISSING) == expected
+
+        field_predicate = exists_predicate
+    elif operator == "$type":
+        type_map = {
+            "double": float,
+            "string": str,
+            "object": dict,
+            "array": list,
+            "bool": bool,
+            "int": int,
+            "long": int,
+            "number": (int, float),
+            "date": (_dt.date, _dt.datetime),
+            "objectId": ObjectId,
+            "null": type(None),
+        }
+        if operand not in type_map:
+            raise InvalidOperator(f"unknown $type alias {operand!r}")
+        expected_types = type_map[operand]
+
+        def type_predicate(value: Any) -> bool:
+            if value is _MISSING:
+                return False
+            if operand == "null":
+                return value is None
+            if operand in ("int", "long", "number", "double") and isinstance(value, bool):
+                return False
+            return isinstance(value, expected_types)
+
+        field_predicate = type_predicate
+    elif operator == "$regex":
+        flags = 0
+        pattern = operand
+        if isinstance(operand, Mapping):
+            pattern = operand.get("pattern", "")
+        compiled = re.compile(pattern, flags)
+
+        def regex_predicate(value: Any) -> bool:
+            return isinstance(value, str) and bool(compiled.search(value))
+
+        field_predicate = regex_predicate
+    elif operator == "$mod":
+        if not isinstance(operand, (list, tuple)) or len(operand) != 2:
+            raise InvalidOperator("$mod requires [divisor, remainder]")
+        divisor, remainder = operand
+
+        def mod_predicate(value: Any) -> bool:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return False
+            return int(value) % int(divisor) == int(remainder)
+
+        field_predicate = mod_predicate
+    elif operator == "$size":
+        def size_predicate(value: Any) -> bool:
+            return isinstance(value, (list, tuple)) and len(value) == operand
+
+        field_predicate = size_predicate
+    elif operator == "$all":
+        if not isinstance(operand, (list, tuple)):
+            raise InvalidOperator("$all requires a list operand")
+
+        def all_predicate(value: Any) -> bool:
+            if not isinstance(value, (list, tuple)):
+                value = [value]
+            return all(
+                any(values_equal(item, wanted) for item in value) for wanted in operand
+            )
+
+        field_predicate = all_predicate
+    elif operator == "$elemMatch":
+        if not isinstance(operand, Mapping):
+            raise InvalidOperator("$elemMatch requires a document operand")
+        inner = compile_filter(operand)
+
+        def elem_match_predicate(value: Any) -> bool:
+            if not isinstance(value, (list, tuple)):
+                return False
+            return any(isinstance(item, Mapping) and inner(item) for item in value)
+
+        field_predicate = elem_match_predicate
+    elif operator == "$not":
+        if isinstance(operand, Mapping):
+            negated = _compile_field_condition(path, operand)
+        else:
+            negated = _compile_field_condition(path, {"$eq": operand})
+        return lambda document: not negated(document)
+    else:
+        raise InvalidOperator(f"unknown query operator {operator!r}")
+
+    def document_predicate(document: Any) -> bool:
+        values = resolve_path(document, path)
+        if operator == "$exists":
+            return field_predicate(values[0] if values else _MISSING)
+        if not values:
+            return field_predicate(_MISSING)
+        return any(field_predicate(value) for value in values)
+
+    return document_predicate
+
+
+def _is_operator_document(value: Any) -> bool:
+    return (
+        isinstance(value, Mapping)
+        and bool(value)
+        and all(isinstance(key, str) and key.startswith("$") for key in value)
+    )
+
+
+def _compile_field_condition(path: str, condition: Any) -> Callable[[Any], bool]:
+    """Compile ``{path: condition}`` where condition is a value or op-document."""
+    if _is_operator_document(condition):
+        predicates = [
+            _build_operator_predicate(path, operator, operand)
+            for operator, operand in condition.items()
+        ]
+        return lambda document: all(predicate(document) for predicate in predicates)
+    return _build_operator_predicate(path, "$eq", condition)
+
+
+def compile_filter(query: Mapping[str, Any] | None) -> Callable[[Any], bool]:
+    """Compile a filter document into a predicate ``document -> bool``.
+
+    Compiling once and reusing the predicate lets collection scans avoid
+    re-interpreting the filter for every document.
+    """
+    if not query:
+        return lambda _document: True
+    if not isinstance(query, Mapping):
+        raise OperationFailure("query filters must be documents")
+
+    predicates: list[Callable[[Any], bool]] = []
+    for key, condition in query.items():
+        if key == "$and":
+            sub = [compile_filter(item) for item in condition]
+            predicates.append(
+                lambda document, sub=sub: all(p(document) for p in sub)
+            )
+        elif key == "$or":
+            sub = [compile_filter(item) for item in condition]
+            predicates.append(
+                lambda document, sub=sub: any(p(document) for p in sub)
+            )
+        elif key == "$nor":
+            sub = [compile_filter(item) for item in condition]
+            predicates.append(
+                lambda document, sub=sub: not any(p(document) for p in sub)
+            )
+        elif key == "$expr":
+            from .expressions import evaluate_expression
+
+            predicates.append(
+                lambda document, expr=condition: bool(
+                    evaluate_expression(expr, document)
+                )
+            )
+        elif key.startswith("$"):
+            raise InvalidOperator(f"unknown top-level operator {key!r}")
+        else:
+            predicates.append(_compile_field_condition(key, condition))
+
+    return lambda document: all(predicate(document) for predicate in predicates)
+
+
+def matches(document: Mapping[str, Any], query: Mapping[str, Any] | None) -> bool:
+    """Return ``True`` if *document* satisfies *query*."""
+    return compile_filter(query)(document)

@@ -1,0 +1,204 @@
+"""Query planner.
+
+The planner decides, per query, whether a collection scan (COLLSCAN) or an
+index scan (IXSCAN) serves the filter, using the index-prefix rule described
+in Section 2.1.2 of the paper: a compound index on ``(a, b, c)`` can answer
+queries on ``a``, ``(a, b)``, or ``(a, b, c)``.
+
+Plans are purely advisory — the matcher is always applied afterwards, so a
+plan only has to produce a superset of the matching documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .indexes import HASHED, Index
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The access path chosen for a query."""
+
+    stage: str  # "COLLSCAN" or "IXSCAN"
+    index_name: str | None = None
+    index_fields: tuple[str, ...] = ()
+    candidate_ids: tuple[int, ...] | None = None
+    documents_examined: int = 0
+
+    def describe(self) -> dict[str, Any]:
+        """Return an ``explain()``-style description of the plan."""
+        description: dict[str, Any] = {"stage": self.stage}
+        if self.stage == "IXSCAN":
+            description["indexName"] = self.index_name
+            description["keyPattern"] = list(self.index_fields)
+            description["keysExamined"] = self.documents_examined
+        return description
+
+
+@dataclass
+class _FieldConstraints:
+    """Constraints extracted from a filter for a single field path."""
+
+    equalities: list[Any] = field(default_factory=list)
+    in_values: list[Any] | None = None
+    lower: Any = None
+    lower_inclusive: bool = True
+    upper: Any = None
+    upper_inclusive: bool = True
+    has_range: bool = False
+
+    @property
+    def has_equality(self) -> bool:
+        return bool(self.equalities) or self.in_values is not None
+
+
+def _extract_constraints(query: Mapping[str, Any] | None) -> dict[str, _FieldConstraints]:
+    """Collect per-field constraints from the top level (and ``$and``) of *query*."""
+    constraints: dict[str, _FieldConstraints] = {}
+    if not query:
+        return constraints
+
+    def visit(filter_document: Mapping[str, Any]) -> None:
+        for key, condition in filter_document.items():
+            if key == "$and":
+                for sub_filter in condition:
+                    visit(sub_filter)
+                continue
+            if key.startswith("$"):
+                # $or / $nor / $expr cannot be used for index bounds safely.
+                continue
+            entry = constraints.setdefault(key, _FieldConstraints())
+            if isinstance(condition, Mapping) and any(
+                op.startswith("$") for op in condition
+            ):
+                for operator, operand in condition.items():
+                    if operator == "$eq":
+                        entry.equalities.append(operand)
+                    elif operator == "$in":
+                        entry.in_values = list(operand)
+                    elif operator in ("$gt", "$gte"):
+                        entry.lower = operand
+                        entry.lower_inclusive = operator == "$gte"
+                        entry.has_range = True
+                    elif operator in ("$lt", "$lte"):
+                        entry.upper = operand
+                        entry.upper_inclusive = operator == "$lte"
+                        entry.has_range = True
+            else:
+                entry.equalities.append(condition)
+
+    visit(query)
+    return constraints
+
+
+def plan_query(
+    query: Mapping[str, Any] | None,
+    indexes: Mapping[str, Index],
+    collection_size: int,
+) -> QueryPlan:
+    """Choose an access path for *query* given the available *indexes*.
+
+    Selection strategy (simplified but faithful to the original behaviour):
+
+    1. Prefer an index whose leading field has an equality or ``$in``
+       constraint; longer usable prefixes win ties.
+    2. Otherwise use an index whose leading field has a range constraint
+       (hashed indexes are skipped for ranges).
+    3. Fall back to a collection scan.
+    """
+    constraints = _extract_constraints(query)
+    if not constraints or not indexes:
+        return QueryPlan(stage="COLLSCAN", documents_examined=collection_size)
+
+    best: tuple[int, str, Index] | None = None
+    for name, index in indexes.items():
+        leading_field = index.spec.fields[0]
+        leading = constraints.get(leading_field)
+        if leading is None:
+            continue
+        if index.spec.is_hashed and not leading.has_equality:
+            continue
+        if not leading.has_equality and not leading.has_range:
+            continue
+        # Count how many leading index fields carry an equality constraint —
+        # the usable prefix length, which scores the index.
+        prefix_length = 0
+        for field_path in index.spec.fields:
+            entry = constraints.get(field_path)
+            if entry is not None and entry.has_equality and entry.in_values is None:
+                prefix_length += 1
+            else:
+                break
+        score = prefix_length * 10 + (5 if leading.has_equality else 1)
+        if best is None or score > best[0]:
+            best = (score, name, index)
+
+    if best is None:
+        return QueryPlan(stage="COLLSCAN", documents_examined=collection_size)
+
+    _score, name, index = best
+    candidate_ids = _candidates_from_index(index, constraints)
+    if candidate_ids is None:
+        return QueryPlan(stage="COLLSCAN", documents_examined=collection_size)
+    return QueryPlan(
+        stage="IXSCAN",
+        index_name=name,
+        index_fields=index.spec.fields,
+        candidate_ids=tuple(candidate_ids),
+        documents_examined=len(candidate_ids),
+    )
+
+
+def _candidates_from_index(
+    index: Index,
+    constraints: Mapping[str, _FieldConstraints],
+) -> list[int] | None:
+    """Fetch candidate doc ids from *index* for the extracted constraints."""
+    fields = index.spec.fields
+    leading = constraints[fields[0]]
+
+    # Determine how long an equality prefix we can use.
+    prefix_values: list[list[Any]] = []
+    for field_path in fields:
+        entry = constraints.get(field_path)
+        if entry is None or not entry.has_equality:
+            break
+        if entry.equalities:
+            prefix_values.append([entry.equalities[0]])
+        elif entry.in_values is not None:
+            prefix_values.append(list(entry.in_values))
+        else:  # pragma: no cover - unreachable
+            break
+
+    if prefix_values:
+        # Expand $in fan-out into several prefix lookups.
+        prefixes: list[tuple[Any, ...]] = [()]
+        for values in prefix_values:
+            prefixes = [existing + (value,) for existing in prefixes for value in values]
+        candidate_ids: list[int] = []
+        seen: set[int] = set()
+        full_key = len(prefix_values) == len(fields)
+        for prefix in prefixes:
+            if index.spec.is_hashed or full_key:
+                ids: Iterable[int] = index.point_lookup(prefix)
+            else:
+                ids = index.prefix_lookup(prefix)
+            for doc_id in ids:
+                if doc_id not in seen:
+                    seen.add(doc_id)
+                    candidate_ids.append(doc_id)
+        return candidate_ids
+
+    if leading.has_range and not index.spec.is_hashed:
+        return index.range_lookup(
+            lower=leading.lower,
+            upper=leading.upper,
+            include_lower=leading.lower_inclusive,
+            include_upper=leading.upper_inclusive,
+        )
+
+    return None

@@ -1,0 +1,114 @@
+"""On-disk persistence for databases and collections.
+
+The in-memory store can be dumped to and restored from a directory of
+JSON-lines files (one file per collection).  The harness uses this to cache
+generated datasets between benchmark runs, and the examples use it to show a
+complete load / persist / reload cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from .bson import decode_document, encode_document
+from .collection import Collection
+from .database import Database
+
+__all__ = [
+    "dump_collection",
+    "load_collection",
+    "dump_database",
+    "load_database",
+]
+
+
+def dump_collection(collection: Collection, path: str | pathlib.Path) -> int:
+    """Write every document of *collection* to *path* as JSON lines.
+
+    Returns the number of documents written.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("wb") as handle:
+        for document in collection.raw_documents():
+            handle.write(encode_document(document))
+            handle.write(b"\n")
+            count += 1
+    return count
+
+
+def load_collection(collection: Collection, path: str | pathlib.Path) -> int:
+    """Load JSON-lines documents from *path* into *collection*.
+
+    Returns the number of documents inserted.
+    """
+    source = pathlib.Path(path)
+    count = 0
+    with source.open("rb") as handle:
+        batch: list[dict[str, Any]] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            batch.append(decode_document(line))
+            count += 1
+            if len(batch) >= 1000:
+                collection.insert_many(batch)
+                batch = []
+        if batch:
+            collection.insert_many(batch)
+    return count
+
+
+def dump_database(database: Database, directory: str | pathlib.Path) -> dict[str, int]:
+    """Dump every collection of *database* into *directory*.
+
+    Also writes a small ``__manifest__.json`` describing the dump.  Returns a
+    mapping of collection name to document count.
+    """
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, Any] = {"database": database.name, "collections": {}}
+    counts: dict[str, int] = {}
+    for name in database.list_collection_names():
+        collection = database[name]
+        counts[name] = dump_collection(collection, target / f"{name}.jsonl")
+        manifest["collections"][name] = {
+            "count": counts[name],
+            "indexes": {
+                index_name: info["key"]
+                for index_name, info in collection.index_information().items()
+                if index_name != "_id_"
+            },
+        }
+    (target / "__manifest__.json").write_text(json.dumps(manifest, indent=2))
+    return counts
+
+
+def load_database(database: Database, directory: str | pathlib.Path) -> dict[str, int]:
+    """Load a dump produced by :func:`dump_database` into *database*."""
+    source = pathlib.Path(directory)
+    manifest_path = source / "__manifest__.json"
+    manifest = json.loads(manifest_path.read_text()) if manifest_path.exists() else None
+    counts: dict[str, int] = {}
+    for path in sorted(source.glob("*.jsonl")):
+        name = path.stem
+        collection = database[name]
+        counts[name] = load_collection(collection, path)
+        if manifest is not None:
+            index_specs = manifest["collections"].get(name, {}).get("indexes", {})
+            for keys in index_specs.values():
+                collection.create_index([(field, direction) for field, direction in keys])
+    return counts
+
+
+def iter_jsonl(path: str | pathlib.Path) -> Iterable[dict[str, Any]]:
+    """Stream documents from a JSON-lines file without loading them all."""
+    with pathlib.Path(path).open("rb") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield decode_document(line)

@@ -1,0 +1,341 @@
+"""Chunks and shard-key space partitioning.
+
+Section 2.1.3.3 of the paper describes how a sharded collection is divided
+into non-overlapping ranges of shard-key values called chunks (64 MB by
+default), how range-based partitioning keeps nearby keys together (good for
+range queries, bad for skewed inserts), how hash-based partitioning spreads
+keys evenly, and how a chunk whose keys are all identical cannot be split and
+becomes a *jumbo* chunk (Figure 2.7).  This module implements those concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..documentstore.errors import ChunkSplitError, ShardKeyError
+from ..documentstore.indexes import hashed_value
+from ..documentstore.matching import compare_values, resolve_path_single
+
+__all__ = [
+    "MinKey",
+    "MaxKey",
+    "MIN_KEY",
+    "MAX_KEY",
+    "DEFAULT_CHUNK_SIZE_BYTES",
+    "ShardKeyPattern",
+    "Chunk",
+    "ChunkManager",
+]
+
+#: Default maximum chunk size (64 MB), as in the paper.
+DEFAULT_CHUNK_SIZE_BYTES = 64 * 1024 * 1024
+
+
+class MinKey:
+    """Sentinel smaller than every shard-key value."""
+
+    def __repr__(self) -> str:
+        return "MinKey"
+
+
+class MaxKey:
+    """Sentinel larger than every shard-key value."""
+
+    def __repr__(self) -> str:
+        return "MaxKey"
+
+
+MIN_KEY = MinKey()
+MAX_KEY = MaxKey()
+
+
+def compare_boundary(left: Any, right: Any) -> int:
+    """Compare chunk-boundary values, honouring the MinKey/MaxKey sentinels."""
+    if left is right:
+        return 0
+    if isinstance(left, MinKey):
+        return -1
+    if isinstance(right, MinKey):
+        return 1
+    if isinstance(left, MaxKey):
+        return 1
+    if isinstance(right, MaxKey):
+        return -1
+    return compare_values(left, right)
+
+
+@dataclass(frozen=True)
+class ShardKeyPattern:
+    """A shard key: an indexed field (or fields) plus the partitioning mode."""
+
+    fields: tuple[str, ...]
+    hashed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ShardKeyError("a shard key requires at least one field")
+        if self.hashed and len(self.fields) > 1:
+            raise ShardKeyError("hashed shard keys must be single-field")
+
+    @classmethod
+    def create(cls, key: str | Sequence[str] | Mapping[str, Any]) -> "ShardKeyPattern":
+        """Build a pattern from ``"field"``, ``["a", "b"]`` or ``{"f": "hashed"}``."""
+        if isinstance(key, str):
+            return cls(fields=(key,))
+        if isinstance(key, Mapping):
+            fields = tuple(key.keys())
+            hashed = any(value == "hashed" for value in key.values())
+            return cls(fields=fields, hashed=hashed)
+        return cls(fields=tuple(key))
+
+    def extract(self, document: Mapping[str, Any]) -> Any:
+        """Return the routing value of *document* under this shard key.
+
+        Hashed keys return the hash of the field value; compound keys return a
+        tuple.  A missing shard-key field raises :class:`ShardKeyError`, as the
+        original system refuses such inserts into a sharded collection.
+        """
+        values = []
+        for field_path in self.fields:
+            value = resolve_path_single(document, field_path, default=None)
+            if value is None:
+                raise ShardKeyError(
+                    f"document is missing shard key field {field_path!r}"
+                )
+            values.append(value)
+        if self.hashed:
+            return hashed_value(values[0])
+        if len(values) == 1:
+            return values[0]
+        return tuple(values)
+
+    def routing_value(self, raw_value: Any) -> Any:
+        """Map a raw shard-key value to routing space (hash it if hashed)."""
+        return hashed_value(raw_value) if self.hashed else raw_value
+
+    def as_dict(self) -> dict[str, Any]:
+        """Describe the pattern like ``shardCollection`` output."""
+        return {field_path: ("hashed" if self.hashed else 1) for field_path in self.fields}
+
+
+@dataclass
+class Chunk:
+    """A non-overlapping shard-key range assigned to one shard."""
+
+    lower: Any
+    upper: Any
+    shard_id: str
+    document_count: int = 0
+    size_bytes: int = 0
+    jumbo: bool = False
+    key_samples: list[Any] = field(default_factory=list, repr=False)
+
+    _MAX_SAMPLES = 512
+
+    def contains(self, key_value: Any) -> bool:
+        """Return True if *key_value* falls inside ``[lower, upper)``."""
+        return (
+            compare_boundary(key_value, self.lower) >= 0
+            and compare_boundary(key_value, self.upper) < 0
+        )
+
+    def record_insert(self, key_value: Any, document_bytes: int) -> None:
+        """Account for a newly routed document."""
+        self.document_count += 1
+        self.size_bytes += document_bytes
+        if len(self.key_samples) < self._MAX_SAMPLES:
+            self.key_samples.append(key_value)
+
+    def median_key(self) -> Any:
+        """Return a split point candidate (median of sampled keys)."""
+        if not self.key_samples:
+            raise ChunkSplitError("chunk has no key samples to split on")
+        ordered = sorted(
+            self.key_samples,
+            key=lambda value: _BoundarySortKey(value),
+        )
+        return ordered[len(ordered) // 2]
+
+    def describe(self) -> dict[str, Any]:
+        """Chunk metadata as stored on the config server."""
+        return {
+            "min": self.lower,
+            "max": self.upper,
+            "shard": self.shard_id,
+            "count": self.document_count,
+            "size": self.size_bytes,
+            "jumbo": self.jumbo,
+        }
+
+
+class _BoundarySortKey:
+    """Sort helper for boundary values (MinKey < values < MaxKey)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_BoundarySortKey") -> bool:
+        return compare_boundary(self.value, other.value) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _BoundarySortKey):
+            return NotImplemented
+        return compare_boundary(self.value, other.value) == 0
+
+
+class ChunkManager:
+    """The chunk table of one sharded collection.
+
+    Splitting behaviour mirrors the paper: a chunk whose size exceeds the
+    configured maximum is split at the median sampled key; if every sampled
+    key is identical the chunk cannot be split and is marked *jumbo*.
+    """
+
+    def __init__(
+        self,
+        namespace: str,
+        shard_key: ShardKeyPattern,
+        shard_ids: Sequence[str],
+        *,
+        chunk_size_bytes: int = DEFAULT_CHUNK_SIZE_BYTES,
+        initial_chunks_per_shard: int = 2,
+    ) -> None:
+        if not shard_ids:
+            raise ShardKeyError("cannot create chunks without shards")
+        self.namespace = namespace
+        self.shard_key = shard_key
+        self.chunk_size_bytes = chunk_size_bytes
+        self._shard_ids = list(shard_ids)
+        self.chunks: list[Chunk] = []
+        if shard_key.hashed:
+            self._create_initial_hashed_chunks(initial_chunks_per_shard)
+        else:
+            # Range sharding starts with a single full-range chunk on the
+            # first shard; splits and the balancer spread it out as data grows.
+            self.chunks.append(Chunk(lower=MIN_KEY, upper=MAX_KEY, shard_id=self._shard_ids[0]))
+
+    def _create_initial_hashed_chunks(self, chunks_per_shard: int) -> None:
+        """Pre-split the 64-bit hash space evenly across shards."""
+        total_chunks = max(1, chunks_per_shard) * len(self._shard_ids)
+        hash_space = 2 ** 64
+        step = hash_space // total_chunks
+        boundaries: list[Any] = [MIN_KEY]
+        boundaries.extend(step * index for index in range(1, total_chunks))
+        boundaries.append(MAX_KEY)
+        for index in range(total_chunks):
+            shard_id = self._shard_ids[index % len(self._shard_ids)]
+            self.chunks.append(
+                Chunk(lower=boundaries[index], upper=boundaries[index + 1], shard_id=shard_id)
+            )
+
+    # -- lookups --------------------------------------------------------------
+
+    def chunk_for(self, routing_value: Any) -> Chunk:
+        """Return the chunk owning *routing_value*."""
+        for chunk in self.chunks:
+            if chunk.contains(routing_value):
+                return chunk
+        raise ShardKeyError(
+            f"no chunk covers shard key value {routing_value!r} in {self.namespace}"
+        )
+
+    def shard_for_value(self, raw_value: Any) -> str:
+        """Return the shard owning the document with shard-key *raw_value*."""
+        return self.chunk_for(self.shard_key.routing_value(raw_value)).shard_id
+
+    def shards_for_values(self, raw_values: Iterable[Any]) -> set[str]:
+        """Return every shard owning at least one of *raw_values*."""
+        return {self.shard_for_value(value) for value in raw_values}
+
+    def shards_for_range(self, lower: Any, upper: Any) -> set[str]:
+        """Return the shards owning any chunk overlapping ``[lower, upper]``.
+
+        Only meaningful for range-partitioned collections; hashed collections
+        always answer with every shard (range queries broadcast), which is the
+        trade-off called out in Section 2.1.3.3.
+        """
+        if self.shard_key.hashed:
+            return set(self.all_shards())
+        overlapping = set()
+        for chunk in self.chunks:
+            if (
+                compare_boundary(chunk.upper, lower) > 0
+                and compare_boundary(chunk.lower, upper) <= 0
+            ):
+                overlapping.add(chunk.shard_id)
+        return overlapping
+
+    def all_shards(self) -> list[str]:
+        """Every shard that currently owns at least one chunk."""
+        return sorted({chunk.shard_id for chunk in self.chunks})
+
+    def chunks_by_shard(self) -> dict[str, list[Chunk]]:
+        """Group chunks by owning shard."""
+        grouped: dict[str, list[Chunk]] = {shard_id: [] for shard_id in self._shard_ids}
+        for chunk in self.chunks:
+            grouped.setdefault(chunk.shard_id, []).append(chunk)
+        return grouped
+
+    # -- maintenance -----------------------------------------------------------
+
+    def record_insert(self, routing_value: Any, document_bytes: int) -> Chunk:
+        """Account a routed insert and split the chunk if it grew too large."""
+        chunk = self.chunk_for(routing_value)
+        chunk.record_insert(routing_value, document_bytes)
+        if chunk.size_bytes > self.chunk_size_bytes and not chunk.jumbo:
+            try:
+                self.split_chunk(chunk)
+            except ChunkSplitError:
+                chunk.jumbo = True
+        return chunk
+
+    def split_chunk(self, chunk: Chunk, split_point: Any | None = None) -> tuple[Chunk, Chunk]:
+        """Split *chunk* at *split_point* (default: median sampled key)."""
+        if split_point is None:
+            split_point = chunk.median_key()
+        if (
+            compare_boundary(split_point, chunk.lower) <= 0
+            or compare_boundary(split_point, chunk.upper) >= 0
+        ):
+            raise ChunkSplitError(
+                f"split point {split_point!r} does not strictly divide the chunk; "
+                "all documents may share one shard key value (jumbo chunk)"
+            )
+        left_samples = [k for k in chunk.key_samples if compare_boundary(k, split_point) < 0]
+        right_samples = [k for k in chunk.key_samples if compare_boundary(k, split_point) >= 0]
+        ratio = len(left_samples) / max(1, len(chunk.key_samples))
+        left = Chunk(
+            lower=chunk.lower,
+            upper=split_point,
+            shard_id=chunk.shard_id,
+            document_count=int(chunk.document_count * ratio),
+            size_bytes=int(chunk.size_bytes * ratio),
+            key_samples=left_samples,
+        )
+        right = Chunk(
+            lower=split_point,
+            upper=chunk.upper,
+            shard_id=chunk.shard_id,
+            document_count=chunk.document_count - left.document_count,
+            size_bytes=chunk.size_bytes - left.size_bytes,
+            key_samples=right_samples,
+        )
+        position = self.chunks.index(chunk)
+        self.chunks[position:position + 1] = [left, right]
+        return left, right
+
+    def move_chunk(self, chunk: Chunk, destination_shard: str) -> None:
+        """Reassign *chunk* to *destination_shard* (balancer migration)."""
+        chunk.shard_id = destination_shard
+
+    def describe(self) -> dict[str, Any]:
+        """Collection sharding metadata, as the config server stores it."""
+        return {
+            "ns": self.namespace,
+            "key": self.shard_key.as_dict(),
+            "unique": False,
+            "chunks": [chunk.describe() for chunk in self.chunks],
+        }

@@ -1,0 +1,143 @@
+"""Sharded cluster facade.
+
+Wires together the pieces of Figure 3.1: data-bearing shards, one config
+server, and one query router, all connected by a simulated network.  The
+default topology matches the paper's deployment (3 shards, 1 config server,
+1 ``mongos``) but every knob — shard count, per-shard RAM description, chunk
+size, network model — is configurable so the ablation benchmarks can vary
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .balancer import Balancer
+from .chunks import ChunkManager
+from .config_server import ConfigServer
+from .network import NetworkModel, SimulatedNetwork
+from .router import QueryRouter, RoutedDatabase
+from .shard import Shard, ShardDescription
+
+__all__ = ["ShardedCluster"]
+
+
+class ShardedCluster:
+    """A complete sharded deployment (shards + config server + router)."""
+
+    def __init__(
+        self,
+        shard_count: int = 3,
+        *,
+        shard_descriptions: Sequence[ShardDescription] | None = None,
+        network_model: NetworkModel | None = None,
+        name: str = "cluster",
+    ) -> None:
+        if shard_descriptions is not None:
+            descriptions = list(shard_descriptions)
+        else:
+            descriptions = [
+                ShardDescription(shard_id=f"shard{i + 1}") for i in range(shard_count)
+            ]
+        if not descriptions:
+            raise ValueError("a cluster needs at least one shard")
+
+        self.name = name
+        self.network = SimulatedNetwork(network_model)
+        self.config_server = ConfigServer()
+        self.shards: list[Shard] = []
+        for description in descriptions:
+            shard = Shard(description.shard_id, description)
+            self.shards.append(shard)
+            self.config_server.add_shard(shard.shard_id)
+        self.router = QueryRouter(self.config_server, self.shards, self.network)
+        self.balancer = Balancer(
+            self.config_server,
+            {shard.shard_id: shard for shard in self.shards},
+            self.network,
+        )
+
+    # ------------------------------------------------------------------ topology
+
+    @property
+    def shard_count(self) -> int:
+        """Number of data-bearing shards."""
+        return len(self.shards)
+
+    def shard(self, shard_id: str) -> Shard:
+        """Return a shard by id."""
+        return self.router.shard(shard_id)
+
+    # -------------------------------------------------------------------- admin
+
+    def enable_sharding(self, database_name: str, primary_shard: str | None = None) -> None:
+        """Enable sharding for a database (``sh.enableSharding`` analogue)."""
+        self.config_server.enable_sharding(database_name, primary_shard)
+
+    def shard_collection(
+        self,
+        database_name: str,
+        collection_name: str,
+        shard_key: str | Sequence[str] | Mapping[str, Any],
+        *,
+        chunk_size_bytes: int | None = None,
+        initial_chunks_per_shard: int = 2,
+    ) -> ChunkManager:
+        """Shard a collection (``sh.shardCollection`` analogue).
+
+        A supporting index on the shard key is created on every shard, as the
+        original system requires the shard key to be indexed.
+        """
+        if not self.config_server.is_sharding_enabled(database_name):
+            self.enable_sharding(database_name)
+        manager = self.config_server.shard_collection(
+            database_name,
+            collection_name,
+            shard_key,
+            chunk_size_bytes=chunk_size_bytes,
+            initial_chunks_per_shard=initial_chunks_per_shard,
+        )
+        index_keys = [
+            (field, "hashed" if manager.shard_key.hashed else 1)
+            for field in manager.shard_key.fields
+        ]
+        self.router.create_index(database_name, collection_name, index_keys)
+        return manager
+
+    def get_database(self, name: str) -> RoutedDatabase:
+        """Return a routed database handle (what the application connects to)."""
+        return self.router.get_database(name)
+
+    def __getitem__(self, name: str) -> RoutedDatabase:
+        return self.get_database(name)
+
+    def balance(self) -> None:
+        """Run the balancer until every sharded collection is even."""
+        self.balancer.balance_all()
+
+    def reset_metrics(self) -> None:
+        """Clear router/network/shard accounting before a measurement."""
+        self.router.reset_metrics()
+
+    # ------------------------------------------------------------------- reports
+
+    def status(self) -> dict[str, Any]:
+        """``sh.status()`` analogue: topology, chunks, per-shard data sizes."""
+        return {
+            "cluster": self.name,
+            "shard_count": self.shard_count,
+            "config": self.config_server.describe(),
+            "shards": [shard.stats() for shard in self.shards],
+            "network": self.network.stats.snapshot(),
+            "router": self.router.metrics.snapshot(),
+        }
+
+    def data_distribution(self, database_name: str, collection_name: str) -> dict[str, int]:
+        """Documents per shard for one collection (even-distribution checks)."""
+        distribution = {}
+        for shard in self.shards:
+            distribution[shard.shard_id] = len(shard.collection(database_name, collection_name))
+        return distribution
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedCluster({self.name!r}, shards={self.shard_count})"

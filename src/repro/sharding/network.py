@@ -1,0 +1,144 @@
+"""Simulated network between the query router and the cluster nodes.
+
+The paper's sharded environment runs the query router (``mongos``), the
+config server, and three shards on separate EC2 machines, so every routed
+operation pays (a) a per-message round-trip latency and (b) a transfer cost
+proportional to the payload size.  The reproduction runs everything in one
+process; this module makes the cost of crossing a node boundary explicit:
+
+* payloads are really serialized/deserialized at the boundary (CPU work that
+  exists in the real system too);
+* every message is recorded with its direction, purpose, and size;
+* a :class:`NetworkModel` converts the message log into *simulated* elapsed
+  seconds, so experiment results can separate computation from communication
+  the same way the paper's observations do (Section 4.3, observation ii/iii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..documentstore.bson import decode_batch, encode_batch
+
+__all__ = ["NetworkModel", "NetworkMessage", "NetworkStats", "SimulatedNetwork"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters of the simulated interconnect.
+
+    The defaults approximate a same-availability-zone cloud network: 0.5 ms
+    round-trip latency per message and 1 Gbit/s of usable bandwidth.
+    """
+
+    latency_seconds: float = 0.0005
+    bandwidth_bytes_per_second: float = 125_000_000.0
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Simulated seconds needed to move *payload_bytes* over the wire."""
+        if payload_bytes <= 0:
+            return 0.0
+        return payload_bytes / self.bandwidth_bytes_per_second
+
+    def message_seconds(self, payload_bytes: int) -> float:
+        """Latency plus transfer time for one message."""
+        return self.latency_seconds + self.transfer_seconds(payload_bytes)
+
+
+@dataclass(frozen=True)
+class NetworkMessage:
+    """One message crossing the simulated network."""
+
+    source: str
+    destination: str
+    purpose: str
+    payload_bytes: int
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated traffic statistics."""
+
+    messages: int = 0
+    bytes_transferred: int = 0
+    simulated_seconds: float = 0.0
+    by_purpose: dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: NetworkMessage, seconds: float) -> None:
+        self.messages += 1
+        self.bytes_transferred += message.payload_bytes
+        self.simulated_seconds += seconds
+        self.by_purpose[message.purpose] = self.by_purpose.get(message.purpose, 0) + 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "messages": self.messages,
+            "bytes_transferred": self.bytes_transferred,
+            "simulated_seconds": self.simulated_seconds,
+            "by_purpose": dict(self.by_purpose),
+        }
+
+
+class SimulatedNetwork:
+    """Message accounting plus real (de)serialization at node boundaries."""
+
+    def __init__(self, model: NetworkModel | None = None) -> None:
+        self.model = model or NetworkModel()
+        self.stats = NetworkStats()
+        self._log: list[NetworkMessage] = []
+
+    # -- raw accounting ------------------------------------------------------
+
+    def send(self, source: str, destination: str, purpose: str, payload_bytes: int) -> float:
+        """Account for one message and return its simulated duration."""
+        message = NetworkMessage(source, destination, purpose, payload_bytes)
+        seconds = self.model.message_seconds(payload_bytes)
+        self.stats.record(message, seconds)
+        self._log.append(message)
+        return seconds
+
+    # -- document transfer ----------------------------------------------------
+
+    def ship_documents(
+        self,
+        documents: Iterable[Mapping[str, Any]],
+        *,
+        source: str,
+        destination: str,
+        purpose: str,
+    ) -> list[dict[str, Any]]:
+        """Serialize *documents*, account the transfer, and return copies.
+
+        The encode/decode round trip both models the wire format cost and
+        guarantees that the receiving side cannot share mutable state with
+        the sender — exactly the isolation a real network provides.
+        """
+        payload = encode_batch(documents)
+        self.send(source, destination, purpose, len(payload))
+        return decode_batch(payload)
+
+    def ship_command(
+        self,
+        command: Mapping[str, Any] | None,
+        *,
+        source: str,
+        destination: str,
+        purpose: str,
+    ) -> float:
+        """Account for a small command message (query, update, getmore)."""
+        payload = encode_batch([command or {}])
+        return self.send(source, destination, purpose, len(payload))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def log(self) -> list[NetworkMessage]:
+        """The full message log (copy)."""
+        return list(self._log)
+
+    def reset(self) -> None:
+        """Clear statistics and the message log."""
+        self.stats = NetworkStats()
+        self._log.clear()

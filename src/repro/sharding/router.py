@@ -1,0 +1,844 @@
+"""Query router (``mongos``).
+
+The router is the only component an application talks to in the sharded
+deployment (Figure 3.1).  For every operation it:
+
+1. consults the config server to find the target shards — one shard when the
+   query contains the shard key (*targeted*), every shard otherwise
+   (*broadcast*, the expensive case called out in Section 4.3);
+2. sends the command over the simulated network, executes it on each target
+   shard, and ships the per-shard results back;
+3. merges the partial results (and, for aggregation, runs the merge part of
+   the pipeline) before answering the client.
+
+Execution on the shards is timed individually; the router combines the
+timings under a parallel-execution model (shards work concurrently, so an
+operation costs the *maximum* of its per-shard times plus network and merge
+overhead).  This keeps the reproduction single-process while preserving the
+performance shape of the paper's cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..documentstore.aggregation import run_pipeline, split_pipeline_for_shards
+from ..documentstore.bson import document_size
+from ..documentstore.cursor import (
+    Cursor,
+    DeleteResult,
+    InsertManyResult,
+    InsertOneResult,
+    UpdateResult,
+    project_document,
+    sort_documents,
+)
+from ..documentstore.errors import OperationFailure, ShardKeyError
+from ..documentstore.objectid import ObjectId
+from .chunks import ChunkManager
+from .config_server import ConfigServer
+from .network import SimulatedNetwork
+from .shard import Shard
+
+__all__ = ["QueryRouter", "RoutedDatabase", "RoutedCollection", "RouterMetrics"]
+
+
+@dataclass
+class RouterMetrics:
+    """Cost accounting for routed operations.
+
+    Execution inside the reproduction is single-process, so the wall time of
+    a routed workload already contains the *sum* of all per-shard execution
+    time.  To recover the elapsed time the paper's cluster would observe, the
+    experiment harness combines these counters with the measured wall time:
+
+    ``simulated elapsed = wall time - shard_seconds_total
+    + parallel_shard_seconds + network_seconds``
+
+    where ``parallel_shard_seconds`` replaces the serialized per-shard
+    execution with the per-operation maximum (shards work in parallel),
+    scaled by each shard's ``cpu_factor`` (weaker cluster nodes), and
+    ``network_seconds`` adds the simulated round-trip latency and transfer
+    time of every message.
+    """
+
+    operations: int = 0
+    targeted_operations: int = 0
+    broadcast_operations: int = 0
+    router_seconds: float = 0.0
+    shard_seconds_total: float = 0.0
+    parallel_shard_seconds: float = 0.0
+    network_seconds: float = 0.0
+    shards_contacted: int = 0
+
+    def simulated_overhead_seconds(self) -> float:
+        """Adjustment to add to measured wall time to get simulated elapsed time.
+
+        Negative values mean the modelled cluster is *faster* than the
+        single-process execution (parallel scan gains exceeded the network
+        and per-node slowdown costs) — the situation the paper observes for
+        the shard-key-targeted Query 50.
+        """
+        return self.parallel_shard_seconds + self.network_seconds - self.shard_seconds_total
+
+    def snapshot(self) -> dict[str, Any]:
+        """Return the metrics as a plain dictionary."""
+        return {
+            "operations": self.operations,
+            "targeted_operations": self.targeted_operations,
+            "broadcast_operations": self.broadcast_operations,
+            "router_seconds": self.router_seconds,
+            "shard_seconds_total": self.shard_seconds_total,
+            "parallel_shard_seconds": self.parallel_shard_seconds,
+            "network_seconds": self.network_seconds,
+            "simulated_overhead_seconds": self.simulated_overhead_seconds(),
+            "shards_contacted": self.shards_contacted,
+        }
+
+
+class QueryRouter:
+    """The ``mongos`` process of the sharded cluster."""
+
+    def __init__(
+        self,
+        config_server: ConfigServer,
+        shards: Sequence[Shard],
+        network: SimulatedNetwork | None = None,
+        name: str = "mongos",
+    ) -> None:
+        self.name = name
+        self.config = config_server
+        self.network = network or SimulatedNetwork()
+        self._shards = {shard.shard_id: shard for shard in shards}
+        self.metrics = RouterMetrics()
+
+    # ------------------------------------------------------------ infrastructure
+
+    def shard(self, shard_id: str) -> Shard:
+        """Return the shard object registered under *shard_id*."""
+        return self._shards[shard_id]
+
+    @property
+    def shards(self) -> list[Shard]:
+        """Every shard known to the router."""
+        return list(self._shards.values())
+
+    def get_database(self, name: str) -> "RoutedDatabase":
+        """Return a database handle that routes operations through this router."""
+        return RoutedDatabase(self, name)
+
+    def __getitem__(self, name: str) -> "RoutedDatabase":
+        return self.get_database(name)
+
+    def reset_metrics(self) -> None:
+        """Clear router metrics and network statistics."""
+        self.metrics = RouterMetrics()
+        self.network.reset()
+        for shard in self.shards:
+            shard.reset_accounting()
+
+    # --------------------------------------------------------------- target choice
+
+    def _target_shards(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None,
+    ) -> tuple[list[str], bool]:
+        """Return (target shard ids, targeted?) for a query.
+
+        ``targeted`` is True when the shard key restricted the query to a
+        proper subset of the shards (the favourable Q50 situation).
+        """
+        if not self.config.is_sharded(database_name, collection_name):
+            return [self.config.primary_shard(database_name)], True
+        manager = self.config.chunk_manager(database_name, collection_name)
+        all_shards = self.config.shard_ids
+        targets = self._shards_from_query(manager, query)
+        if targets is None:
+            return list(all_shards), False
+        target_list = sorted(targets)
+        return target_list, len(target_list) < len(all_shards)
+
+    @staticmethod
+    def _shards_from_query(
+        manager: ChunkManager,
+        query: Mapping[str, Any] | None,
+    ) -> set[str] | None:
+        """Derive target shards from the shard-key constraints of *query*.
+
+        Returns ``None`` when the query does not constrain the shard key
+        (broadcast).  Only single-field shard keys are analysed, which covers
+        every collection in the reproduction.
+        """
+        if not query:
+            return None
+        key_field = manager.shard_key.fields[0]
+        condition = _find_condition(query, key_field)
+        if condition is None:
+            return None
+        if isinstance(condition, Mapping) and any(k.startswith("$") for k in condition):
+            if "$eq" in condition:
+                return {manager.shard_for_value(condition["$eq"])}
+            if "$in" in condition:
+                return manager.shards_for_values(condition["$in"])
+            lower = condition.get("$gte", condition.get("$gt"))
+            upper = condition.get("$lte", condition.get("$lt"))
+            if lower is not None or upper is not None:
+                if manager.shard_key.hashed:
+                    return None
+                from .chunks import MAX_KEY, MIN_KEY
+
+                return manager.shards_for_range(
+                    lower if lower is not None else MIN_KEY,
+                    upper if upper is not None else MAX_KEY,
+                )
+            return None
+        if isinstance(condition, Mapping):
+            return None
+        return {manager.shard_for_value(condition)}
+
+    # ------------------------------------------------------------- scatter/gather
+
+    #: Documents per response batch.  Large result sets are shipped back to
+    #: the router in multiple getMore-style batches, each paying one network
+    #: round trip — the mechanism that makes result-heavy broadcast queries
+    #: expensive on the cluster (Section 4.3, observation ii).
+    RESPONSE_BATCH_SIZE = 101
+
+    def _scatter(
+        self,
+        database_name: str,
+        collection_name: str,
+        targets: Sequence[str],
+        command: Mapping[str, Any] | None,
+        purpose: str,
+        shard_operation: Callable[[Shard], Any],
+        *,
+        ship_results: bool = True,
+        targeted: bool = False,
+    ) -> dict[str, Any]:
+        """Send an operation to *targets*, collect results, account the cost."""
+        per_shard_results: dict[str, Any] = {}
+        slowest_branch = 0.0
+        network_seconds_before = self.network.stats.simulated_seconds
+        for shard_id in targets:
+            shard = self._shards[shard_id]
+            self.network.ship_command(
+                command, source=self.name, destination=shard_id, purpose=f"{purpose}:request"
+            )
+            started = time.perf_counter()
+            result = shard.timed(shard_operation, shard)
+            execution_seconds = time.perf_counter() - started
+            if ship_results and isinstance(result, list) and result:
+                shipped: list[dict[str, Any]] = []
+                batch_size = self.RESPONSE_BATCH_SIZE
+                for start in range(0, len(result), batch_size):
+                    shipped.extend(
+                        self.network.ship_documents(
+                            result[start:start + batch_size],
+                            source=shard_id,
+                            destination=self.name,
+                            purpose=f"{purpose}:response",
+                        )
+                    )
+                result = shipped
+            else:
+                self.network.ship_command(
+                    {"ok": 1},
+                    source=shard_id,
+                    destination=self.name,
+                    purpose=f"{purpose}:ack",
+                )
+            per_shard_results[shard_id] = result
+            adjusted_execution = execution_seconds * shard.description.cpu_factor
+            slowest_branch = max(slowest_branch, adjusted_execution)
+            self.metrics.shard_seconds_total += execution_seconds
+        self.metrics.network_seconds += (
+            self.network.stats.simulated_seconds - network_seconds_before
+        )
+        self.metrics.operations += 1
+        self.metrics.shards_contacted += len(targets)
+        if targeted:
+            self.metrics.targeted_operations += 1
+        else:
+            self.metrics.broadcast_operations += 1
+        self.metrics.parallel_shard_seconds += slowest_branch
+        return per_shard_results
+
+    def _account_router_work(self, started: float) -> None:
+        self.metrics.router_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------- inserts
+
+    def insert_many(
+        self,
+        database_name: str,
+        collection_name: str,
+        documents: Iterable[Mapping[str, Any]],
+    ) -> InsertManyResult:
+        """Route a batch insert, splitting the batch by owning shard."""
+        prepared: list[dict[str, Any]] = []
+        for document in documents:
+            doc = dict(document)
+            doc.setdefault("_id", ObjectId())
+            prepared.append(doc)
+
+        sharded = self.config.is_sharded(database_name, collection_name)
+        batches: dict[str, list[dict[str, Any]]] = {}
+        if sharded:
+            manager = self.config.chunk_manager(database_name, collection_name)
+            for doc in prepared:
+                routing_value = manager.shard_key.extract(doc)
+                chunk = manager.record_insert(routing_value, document_size(doc))
+                batches.setdefault(chunk.shard_id, []).append(doc)
+        else:
+            primary = self.config.primary_shard(database_name)
+            batches[primary] = prepared
+
+        inserted_ids: list[Any] = []
+        for shard_id, batch in batches.items():
+            network_seconds_before = self.network.stats.simulated_seconds
+            shipped = self.network.ship_documents(
+                batch,
+                source=self.name,
+                destination=shard_id,
+                purpose="insert:request",
+            )
+            self.metrics.network_seconds += (
+                self.network.stats.simulated_seconds - network_seconds_before
+            )
+
+            def do_insert(shard: Shard, docs=shipped) -> Any:
+                return shard.collection(database_name, collection_name).insert_many(docs)
+
+            results = self._scatter(
+                database_name,
+                collection_name,
+                [shard_id],
+                {"insert": collection_name, "documents": len(batch)},
+                "insert",
+                do_insert,
+                ship_results=False,
+                targeted=True,
+            )
+            inserted_ids.extend(results[shard_id].inserted_ids)
+        return InsertManyResult(inserted_ids=inserted_ids)
+
+    def insert_one(
+        self,
+        database_name: str,
+        collection_name: str,
+        document: Mapping[str, Any],
+    ) -> InsertOneResult:
+        """Route a single-document insert."""
+        result = self.insert_many(database_name, collection_name, [document])
+        return InsertOneResult(inserted_id=result.inserted_ids[0])
+
+    # --------------------------------------------------------------------- reads
+
+    def find(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Scatter a find to the target shards and merge the results."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+
+        def do_find(shard: Shard) -> list[dict[str, Any]]:
+            return shard.collection(database_name, collection_name).find_with_options(query)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"find": collection_name, "filter": query},
+            "find",
+            do_find,
+            targeted=targeted,
+        )
+        started = time.perf_counter()
+        merged: list[dict[str, Any]] = []
+        for shard_id in targets:
+            merged.extend(per_shard[shard_id])
+        if projection:
+            merged = [project_document(doc, projection) for doc in merged]
+        self._account_router_work(started)
+        return merged
+
+    def count_documents(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Scatter a count and sum the per-shard counts."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+
+        def do_count(shard: Shard) -> int:
+            return shard.collection(database_name, collection_name).count_documents(query)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"count": collection_name, "filter": query},
+            "count",
+            do_count,
+            ship_results=False,
+            targeted=targeted,
+        )
+        return sum(per_shard.values())
+
+    def distinct(
+        self,
+        database_name: str,
+        collection_name: str,
+        key: str,
+        query: Mapping[str, Any] | None = None,
+    ) -> list[Any]:
+        """Scatter a distinct and merge the per-shard value sets."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+
+        def do_distinct(shard: Shard) -> list[Any]:
+            return shard.collection(database_name, collection_name).distinct(key, query)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"distinct": collection_name, "key": key},
+            "distinct",
+            do_distinct,
+            ship_results=False,
+            targeted=targeted,
+        )
+        started = time.perf_counter()
+        merged: list[Any] = []
+        seen: set[str] = set()
+        for shard_id in targets:
+            for value in per_shard[shard_id]:
+                marker = repr(value)
+                if marker not in seen:
+                    seen.add(marker)
+                    merged.append(value)
+        self._account_router_work(started)
+        return merged
+
+    # ------------------------------------------------------------------- updates
+
+    def update_many(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Route a multi-document update."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+
+        def do_update(shard: Shard) -> UpdateResult:
+            return shard.collection(database_name, collection_name).update_many(
+                query, update, upsert=False
+            )
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"update": collection_name, "filter": query, "u": update},
+            "update",
+            do_update,
+            ship_results=False,
+            targeted=targeted,
+        )
+        matched = sum(result.matched_count for result in per_shard.values())
+        modified = sum(result.modified_count for result in per_shard.values())
+        upserted_id = None
+        if matched == 0 and upsert:
+            from ..documentstore.update import build_upsert_document
+
+            document = build_upsert_document(query or {}, update)
+            insert_result = self.insert_one(database_name, collection_name, document)
+            upserted_id = insert_result.inserted_id
+        return UpdateResult(matched_count=matched, modified_count=modified, upserted_id=upserted_id)
+
+    def update_one(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Route a single-document update (first match wins)."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+        for shard_id in targets:
+            def do_update(shard: Shard) -> UpdateResult:
+                return shard.collection(database_name, collection_name).update_one(
+                    query, update, upsert=False
+                )
+
+            per_shard = self._scatter(
+                database_name,
+                collection_name,
+                [shard_id],
+                {"update": collection_name, "filter": query, "u": update, "multi": False},
+                "update",
+                do_update,
+                ship_results=False,
+                targeted=targeted,
+            )
+            result = per_shard[shard_id]
+            if result.matched_count:
+                return result
+        if upsert:
+            from ..documentstore.update import build_upsert_document
+
+            document = build_upsert_document(query or {}, update)
+            insert_result = self.insert_one(database_name, collection_name, document)
+            return UpdateResult(matched_count=0, modified_count=0, upserted_id=insert_result.inserted_id)
+        return UpdateResult(matched_count=0, modified_count=0)
+
+    def delete_many(
+        self,
+        database_name: str,
+        collection_name: str,
+        query: Mapping[str, Any] | None,
+    ) -> DeleteResult:
+        """Route a multi-document delete."""
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+
+        def do_delete(shard: Shard) -> DeleteResult:
+            return shard.collection(database_name, collection_name).delete_many(query)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"delete": collection_name, "filter": query},
+            "delete",
+            do_delete,
+            ship_results=False,
+            targeted=targeted,
+        )
+        return DeleteResult(deleted_count=sum(result.deleted_count for result in per_shard.values()))
+
+    # --------------------------------------------------------------------- DDL
+
+    def create_index(
+        self,
+        database_name: str,
+        collection_name: str,
+        keys: Any,
+        *,
+        unique: bool = False,
+        name: str = "",
+    ) -> str:
+        """Create an index on every shard holding the collection."""
+        if self.config.is_sharded(database_name, collection_name):
+            targets = self.config.shard_ids
+        else:
+            targets = [self.config.primary_shard(database_name)]
+
+        def do_create(shard: Shard) -> str:
+            return shard.collection(database_name, collection_name).create_index(
+                keys, unique=unique, name=name
+            )
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"createIndexes": collection_name, "keys": str(keys)},
+            "createIndex",
+            do_create,
+            ship_results=False,
+            targeted=False,
+        )
+        return next(iter(per_shard.values()))
+
+    def drop_index(self, database_name: str, collection_name: str, index_name: str) -> None:
+        """Drop an index from every shard holding the collection."""
+        if self.config.is_sharded(database_name, collection_name):
+            targets = self.config.shard_ids
+        else:
+            targets = [self.config.primary_shard(database_name)]
+
+        def do_drop(shard: Shard) -> None:
+            collection = shard.collection(database_name, collection_name)
+            if index_name in collection.index_information():
+                collection.drop_index(index_name)
+
+        self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"dropIndexes": collection_name, "index": index_name},
+            "dropIndex",
+            do_drop,
+            ship_results=False,
+            targeted=False,
+        )
+
+    def drop_collection(self, database_name: str, collection_name: str) -> None:
+        """Drop a collection from every shard and forget its metadata."""
+        targets = self.config.shard_ids or []
+
+        def do_drop(shard: Shard) -> None:
+            shard.collection(database_name, collection_name).drop()
+
+        if targets:
+            self._scatter(
+                database_name,
+                collection_name,
+                targets,
+                {"drop": collection_name},
+                "drop",
+                do_drop,
+                ship_results=False,
+                targeted=False,
+            )
+        self.config.drop_collection_metadata(database_name, collection_name)
+
+    # -------------------------------------------------------------- aggregation
+
+    def aggregate(
+        self,
+        database_name: str,
+        collection_name: str,
+        pipeline: Sequence[Mapping[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """Run an aggregation: shard stages on the shards, merge on the router.
+
+        The routing decision uses the leading ``$match`` stage: when it
+        constrains the shard key the shard stages only run on the owning
+        shards, otherwise the pipeline is broadcast (Section 4.3's expensive
+        case for the analytical queries).
+        """
+        pipeline = list(pipeline)
+        shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
+        leading_match = None
+        if shard_stages and "$match" in shard_stages[0]:
+            leading_match = shard_stages[0]["$match"]
+        targets, targeted = self._target_shards(database_name, collection_name, leading_match)
+
+        def do_aggregate(shard: Shard) -> list[dict[str, Any]]:
+            collection = shard.collection(database_name, collection_name)
+            return run_pipeline(collection.raw_documents(), shard_stages)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"aggregate": collection_name, "pipeline": len(pipeline)},
+            "aggregate",
+            do_aggregate,
+            targeted=targeted,
+        )
+
+        started = time.perf_counter()
+        merged: list[dict[str, Any]] = []
+        for shard_id in targets:
+            merged.extend(per_shard[shard_id])
+
+        out_target: str | None = None
+        if merge_stages and "$out" in merge_stages[-1]:
+            out_target = str(merge_stages[-1]["$out"])
+            merge_stages = merge_stages[:-1]
+        results = run_pipeline(merged, merge_stages) if merge_stages else merged
+        self._account_router_work(started)
+
+        if out_target is not None:
+            self.drop_collection(database_name, out_target)
+            if results:
+                self.insert_many(database_name, out_target, results)
+            return []
+        return results
+
+    # --------------------------------------------------------------------- stats
+
+    def cluster_stats(self) -> dict[str, Any]:
+        """Aggregate shard statistics plus router metrics."""
+        return {
+            "router": self.metrics.snapshot(),
+            "network": self.network.stats.snapshot(),
+            "shards": [shard.stats() for shard in self.shards],
+            "config": self.config.describe(),
+        }
+
+
+def _find_condition(query: Mapping[str, Any], field_path: str) -> Any:
+    """Find the condition on *field_path* at the top level or inside ``$and``."""
+    if field_path in query:
+        return query[field_path]
+    for sub_query in query.get("$and", []):
+        condition = _find_condition(sub_query, field_path)
+        if condition is not None:
+            return condition
+    return None
+
+
+class RoutedDatabase:
+    """Database handle whose collections route operations through a router."""
+
+    def __init__(self, router: QueryRouter, name: str) -> None:
+        self._router = router
+        self.name = name
+
+    def __getitem__(self, collection_name: str) -> "RoutedCollection":
+        return RoutedCollection(self._router, self.name, collection_name)
+
+    def __getattr__(self, collection_name: str) -> "RoutedCollection":
+        if collection_name.startswith("_"):
+            raise AttributeError(collection_name)
+        return self[collection_name]
+
+    @property
+    def router(self) -> QueryRouter:
+        """The router backing this handle."""
+        return self._router
+
+    def get_collection(self, collection_name: str) -> "RoutedCollection":
+        """Return a routed collection handle."""
+        return self[collection_name]
+
+    def drop_collection(self, collection_name: str) -> None:
+        """Drop a collection across the cluster."""
+        self._router.drop_collection(self.name, collection_name)
+
+    def list_collection_names(self) -> list[str]:
+        """Collection names present on any shard for this database."""
+        names: set[str] = set()
+        for shard in self._router.shards:
+            names.update(shard.database(self.name).list_collection_names())
+        return sorted(names)
+
+    def stats(self) -> dict[str, Any]:
+        """Database statistics aggregated across shards."""
+        totals = {"db": self.name, "objects": 0, "dataSize": 0, "indexSize": 0}
+        for shard in self._router.shards:
+            stats = shard.database(self.name).stats()
+            totals["objects"] += stats["objects"]
+            totals["dataSize"] += stats["dataSize"]
+            totals["indexSize"] += stats["indexSize"]
+        return totals
+
+
+class RoutedCollection:
+    """Collection handle with the same surface as a stand-alone collection."""
+
+    def __init__(self, router: QueryRouter, database_name: str, name: str) -> None:
+        self._router = router
+        self._database_name = database_name
+        self.name = name
+
+    @property
+    def full_name(self) -> str:
+        """The namespaced collection name."""
+        return f"{self._database_name}.{self.name}"
+
+    # The method bodies below simply forward to the router, which owns all
+    # routing and cost-accounting logic.
+
+    def insert_one(self, document: Mapping[str, Any]) -> InsertOneResult:
+        return self._router.insert_one(self._database_name, self.name, document)
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertManyResult:
+        return self._router.insert_many(self._database_name, self.name, documents)
+
+    def find(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+    ) -> Cursor:
+        return Cursor(
+            lambda: self._router.find(self._database_name, self.name, query),
+            projection=projection,
+        )
+
+    def find_one(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any] | None:
+        for document in self.find(query, projection).limit(1):
+            return document
+        return None
+
+    def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
+        return self._router.count_documents(self._database_name, self.name, query)
+
+    def distinct(self, key: str, query: Mapping[str, Any] | None = None) -> list[Any]:
+        return self._router.distinct(self._database_name, self.name, key, query)
+
+    def update_one(
+        self,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._router.update_one(self._database_name, self.name, query, update, upsert=upsert)
+
+    def update_many(
+        self,
+        query: Mapping[str, Any] | None,
+        update: Mapping[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._router.update_many(self._database_name, self.name, query, update, upsert=upsert)
+
+    def delete_many(self, query: Mapping[str, Any] | None) -> DeleteResult:
+        return self._router.delete_many(self._database_name, self.name, query)
+
+    def delete_one(self, query: Mapping[str, Any] | None) -> DeleteResult:
+        # Routed deletes are idempotent per shard; emulate delete_one by
+        # deleting the first match found across the targeted shards.
+        document = self.find_one(query)
+        if document is None:
+            return DeleteResult(deleted_count=0)
+        return self._router.delete_many(self._database_name, self.name, {"_id": document["_id"]})
+
+    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        return self._router.aggregate(self._database_name, self.name, pipeline)
+
+    def create_index(self, keys: Any, *, unique: bool = False, name: str = "") -> str:
+        return self._router.create_index(self._database_name, self.name, keys, unique=unique, name=name)
+
+    def drop_index(self, index_name: str) -> None:
+        self._router.drop_index(self._database_name, self.name, index_name)
+
+    def drop(self) -> None:
+        self._router.drop_collection(self._database_name, self.name)
+
+    def find_with_options(
+        self,
+        query: Mapping[str, Any] | None = None,
+        projection: Mapping[str, Any] | None = None,
+        sort: Sequence[tuple[str, int]] | None = None,
+        skip: int = 0,
+        limit: int = 0,
+    ) -> list[dict[str, Any]]:
+        """One-shot find mirroring :meth:`Collection.find_with_options`."""
+        documents = self._router.find(self._database_name, self.name, query)
+        if sort:
+            documents = sort_documents(documents, sort)
+        if skip:
+            documents = documents[skip:]
+        if limit:
+            documents = documents[:limit]
+        if projection:
+            documents = [project_document(doc, projection) for doc in documents]
+        return documents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutedCollection({self.full_name!r})"

@@ -1,0 +1,84 @@
+"""TPC-DS substrate: schema, scaling, data generation, ``.dat`` files, queries.
+
+This package replaces the official ``dsdgen``/``dsqgen`` tools with a
+deterministic, laptop-scale synthetic generator that preserves the schema,
+foreign-key structure, per-table scaling behaviour (Table 3.6), and the
+predicate selectivity structure of the four evaluation queries.
+"""
+
+from .datfiles import (
+    DELIMITER,
+    dat_file_name,
+    format_row,
+    parse_line,
+    read_dat_file,
+    write_dat_file,
+    write_dataset,
+)
+from .generator import GeneratedDataset, TPCDSGenerator
+from .queries import (
+    QUERY_DEFINITIONS,
+    QUERY_FEATURES,
+    QUERY_IDS,
+    QueryDefinition,
+    query_definition,
+    query_parameters,
+)
+from .scaling import (
+    DATE_RANGE_END,
+    DATE_RANGE_START,
+    NON_SCALING_TABLES,
+    PAPER_ROW_COUNTS,
+    SCALE_LARGE,
+    SCALE_SMALL,
+    ScaleProfile,
+    generation_row_counts,
+    paper_row_counts,
+)
+from .schema import (
+    DIMENSION_TABLES,
+    FACT_TABLES,
+    QUERY_TABLES,
+    TPCDS_TABLES,
+    Column,
+    ColumnType,
+    ForeignKey,
+    TableSchema,
+    table_schema,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "DATE_RANGE_END",
+    "DATE_RANGE_START",
+    "DELIMITER",
+    "DIMENSION_TABLES",
+    "FACT_TABLES",
+    "ForeignKey",
+    "GeneratedDataset",
+    "NON_SCALING_TABLES",
+    "PAPER_ROW_COUNTS",
+    "QUERY_DEFINITIONS",
+    "QUERY_FEATURES",
+    "QUERY_IDS",
+    "QUERY_TABLES",
+    "QueryDefinition",
+    "SCALE_LARGE",
+    "SCALE_SMALL",
+    "ScaleProfile",
+    "TPCDSGenerator",
+    "TPCDS_TABLES",
+    "TableSchema",
+    "dat_file_name",
+    "format_row",
+    "generation_row_counts",
+    "paper_row_counts",
+    "parse_line",
+    "query_definition",
+    "query_parameters",
+    "read_dat_file",
+    "table_schema",
+    "write_dat_file",
+    "write_dataset",
+]

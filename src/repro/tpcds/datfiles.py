@@ -1,0 +1,108 @@
+"""TPC-DS ``.dat`` flat files.
+
+``dsdgen`` emits one ``.dat`` file per table with ``|``-delimited columns and
+no header row (Section 4.1.1, Figure 4.4).  The data-migration algorithm of
+the thesis consumes exactly this format, so the reproduction generates the
+same files and parses them back with typed conversion.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, Iterator, Mapping
+
+from .schema import ColumnType, TableSchema, table_schema
+
+__all__ = [
+    "DELIMITER",
+    "format_row",
+    "parse_line",
+    "write_dat_file",
+    "read_dat_file",
+    "write_dataset",
+    "dat_file_name",
+]
+
+#: Column delimiter used by dsdgen.
+DELIMITER = "|"
+
+
+def dat_file_name(table_name: str) -> str:
+    """The conventional file name for a table's data file."""
+    return f"{table_name}.dat"
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_row(schema: TableSchema, row: Mapping[str, Any]) -> str:
+    """Format *row* as a dsdgen-style delimited line (trailing delimiter)."""
+    fields = [_format_value(row.get(column.name)) for column in schema.columns]
+    return DELIMITER.join(fields) + DELIMITER
+
+
+def parse_line(schema: TableSchema, line: str) -> dict[str, Any]:
+    """Parse a delimited line into a typed row dictionary.
+
+    Empty fields become ``None`` (the thesis omits the key/value pair for
+    null columns when building documents; that decision is made later by the
+    migration algorithm, not the parser).
+    """
+    raw_values = line.rstrip("\n").split(DELIMITER)
+    row: dict[str, Any] = {}
+    for position, column in enumerate(schema.columns):
+        raw = raw_values[position] if position < len(raw_values) else ""
+        if raw == "":
+            row[column.name] = None
+        elif column.type in (ColumnType.INTEGER, ColumnType.IDENTIFIER):
+            row[column.name] = int(raw)
+        elif column.type == ColumnType.DECIMAL:
+            row[column.name] = float(raw)
+        else:
+            row[column.name] = raw
+    return row
+
+
+def write_dat_file(
+    table_name: str,
+    rows: Iterable[Mapping[str, Any]],
+    directory: str | pathlib.Path,
+) -> pathlib.Path:
+    """Write *rows* of *table_name* as a ``.dat`` file; returns the path."""
+    schema = table_schema(table_name)
+    target_directory = pathlib.Path(directory)
+    target_directory.mkdir(parents=True, exist_ok=True)
+    path = target_directory / dat_file_name(table_name)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(format_row(schema, row))
+            handle.write("\n")
+    return path
+
+
+def read_dat_file(
+    table_name: str,
+    path: str | pathlib.Path,
+) -> Iterator[dict[str, Any]]:
+    """Stream typed rows from a ``.dat`` file."""
+    schema = table_schema(table_name)
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield parse_line(schema, line)
+
+
+def write_dataset(
+    tables: Mapping[str, Iterable[Mapping[str, Any]]],
+    directory: str | pathlib.Path,
+) -> dict[str, pathlib.Path]:
+    """Write every table of a generated dataset; returns table -> file path."""
+    paths: dict[str, pathlib.Path] = {}
+    for table_name, rows in tables.items():
+        paths[table_name] = write_dat_file(table_name, rows, directory)
+    return paths

@@ -1,0 +1,154 @@
+"""Dataset scaling.
+
+Table 3.6 of the paper lists the number of records per table for the 1 GB and
+5 GB datasets.  The reproduction cannot materialize gigabyte-scale datasets
+inside an in-process Python store, so it works with *reduced* datasets whose
+shape mirrors the paper:
+
+* every table's row count is the paper's count multiplied by a global
+  ``reduction`` factor (default 1/1000);
+* tables whose cardinality does not change between the 1 GB and 5 GB scales
+  (``customer_demographics``, ``date_dim``, ``household_demographics``,
+  ``income_band``, ``ship_mode``, ``time_dim``, ``catalog_page``) keep
+  identical counts in the small and large reproduction datasets too, which is
+  what produces the paper's load-time observation (i);
+* ``date_dim`` is special: instead of a shrunken random sample it always
+  covers the contiguous day range 1998-01-01 .. 2003-12-31 so that every date
+  predicate of queries 7, 21, 46, and 50 remains meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import datetime as _dt
+
+__all__ = [
+    "PAPER_ROW_COUNTS",
+    "NON_SCALING_TABLES",
+    "DATE_RANGE_START",
+    "DATE_RANGE_END",
+    "DATE_DIM_ROWS",
+    "ScaleProfile",
+    "SCALE_SMALL",
+    "SCALE_LARGE",
+    "paper_row_counts",
+    "generation_row_counts",
+]
+
+#: Row counts reported by Table 3.6 of the paper: {table: (1GB, 5GB)}.
+PAPER_ROW_COUNTS: dict[str, tuple[int, int]] = {
+    "call_center": (6, 14),
+    "catalog_page": (11_718, 11_718),
+    "catalog_returns": (144_067, 720_174),
+    "catalog_sales": (1_441_548, 7_199_490),
+    "customer": (100_000, 277_000),
+    "customer_address": (50_000, 138_000),
+    "customer_demographics": (1_920_800, 1_920_800),
+    "date_dim": (73_049, 73_049),
+    "household_demographics": (7_200, 7_200),
+    "income_band": (20, 20),
+    "inventory": (11_745_000, 49_329_000),
+    "item": (18_000, 54_000),
+    "promotion": (300, 388),
+    "reason": (35, 39),
+    "ship_mode": (20, 20),
+    "store": (12, 52),
+    "store_returns": (287_514, 1_437_911),
+    "store_sales": (2_880_404, 14_400_052),
+    "time_dim": (86_400, 86_400),
+    "warehouse": (5, 7),
+    "web_page": (60, 122),
+    "web_returns": (71_763, 359_991),
+    "web_sales": (719_384, 3_599_503),
+    "web_site": (30, 34),
+}
+
+#: Tables whose row count does not change between the two paper datasets.
+NON_SCALING_TABLES: frozenset[str] = frozenset(
+    name for name, (small, large) in PAPER_ROW_COUNTS.items() if small == large
+)
+
+#: Calendar range covered by the reproduction's date dimension.
+DATE_RANGE_START = _dt.date(1998, 1, 1)
+DATE_RANGE_END = _dt.date(2003, 12, 31)
+DATE_DIM_ROWS = (DATE_RANGE_END - DATE_RANGE_START).days + 1
+
+#: Caps applied to the large non-scaling dimensions after reduction, so that
+#: a laptop-scale run stays laptop-scale while the dimension remains big
+#: enough for the query predicates to have realistic selectivity.
+_NON_SCALING_TARGETS: dict[str, int] = {
+    "customer_demographics": 1_920,
+    "time_dim": 1_440,
+    "catalog_page": 117,
+    "household_demographics": 720,
+    "income_band": 20,
+    "ship_mode": 20,
+    "date_dim": DATE_DIM_ROWS,
+}
+
+#: Tables at or below this cardinality keep their exact paper row counts —
+#: shrinking a 12-row ``store`` table would destroy the query predicates.
+_SMALL_TABLE_THRESHOLD = 1_000
+
+#: Reduced tables never shrink below this row count, so that dimension
+#: predicates (item price bands, demographic combinations, ...) keep a
+#: realistic number of distinct values.
+_MINIMUM_ROWS = 50
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """A reproduction dataset scale.
+
+    ``paper_gb`` identifies the corresponding paper dataset (1 or 5),
+    ``reduction`` is the global row-count divisor applied to scaling tables.
+    """
+
+    name: str
+    paper_gb: int
+    reduction: float = 1.0 / 1000.0
+
+    @property
+    def paper_index(self) -> int:
+        """Index into the ``PAPER_ROW_COUNTS`` tuples (0 = 1 GB, 1 = 5 GB)."""
+        return 0 if self.paper_gb == 1 else 1
+
+    @property
+    def database_name(self) -> str:
+        """Database name used by the thesis for this scale."""
+        return f"Dataset_{self.paper_gb}GB"
+
+
+#: The two scales of the evaluation (1 GB -> 9.94 GB and 5 GB -> 41.93 GB in
+#: the paper; reduced by ``reduction`` here).
+SCALE_SMALL = ScaleProfile(name="small", paper_gb=1)
+SCALE_LARGE = ScaleProfile(name="large", paper_gb=5)
+
+
+def paper_row_counts(paper_gb: int) -> dict[str, int]:
+    """Row counts for the paper's 1 GB or 5 GB dataset (Table 3.6)."""
+    if paper_gb not in (1, 5):
+        raise ValueError("the paper reports row counts for the 1GB and 5GB datasets only")
+    index = 0 if paper_gb == 1 else 1
+    return {name: counts[index] for name, counts in PAPER_ROW_COUNTS.items()}
+
+
+def generation_row_counts(profile: ScaleProfile) -> dict[str, int]:
+    """Row counts the generator should produce for *profile*.
+
+    Scaling tables follow the paper's count times the reduction factor;
+    non-scaling tables use fixed practical targets that are identical across
+    profiles (so the paper's "same rows, same load time" observation holds).
+    """
+    counts: dict[str, int] = {}
+    for name, per_scale in PAPER_ROW_COUNTS.items():
+        paper_count = per_scale[profile.paper_index]
+        if name in NON_SCALING_TABLES:
+            target = _NON_SCALING_TARGETS.get(name, paper_count)
+            counts[name] = min(paper_count, target)
+        elif paper_count <= _SMALL_TABLE_THRESHOLD:
+            counts[name] = paper_count
+        else:
+            reduced = int(round(paper_count * profile.reduction))
+            counts[name] = max(_MINIMUM_ROWS, min(paper_count, reduced))
+    return counts

@@ -1,0 +1,67 @@
+"""Shared fixtures for the core-algorithm tests.
+
+The fixtures build one very small dataset (a ``tiny`` scale profile) and load
+it into a stand-alone deployment, a denormalized stand-alone deployment, and
+a 3-shard cluster.  They are session-scoped: the load and denormalization
+work is done once for the whole core test package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.denormalize import denormalize_all_facts
+from repro.core.experiments import EXPERIMENT_CHUNK_SIZE_BYTES, SHARD_KEYS, tiny_profile
+from repro.core.migration import migrate_generated_dataset
+from repro.documentstore import DocumentStoreClient
+from repro.sharding import ShardedCluster
+from repro.tpcds import TPCDSGenerator
+from repro.tpcds.schema import QUERY_TABLES
+
+TINY = tiny_profile(1.0 / 10_000.0)
+SEED = 20151109
+
+
+@pytest.fixture(scope="session")
+def tiny_generator():
+    return TPCDSGenerator(TINY, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def standalone_db(tiny_generator):
+    """A stand-alone database loaded with the normalized tiny dataset."""
+    client = DocumentStoreClient()
+    database = client[TINY.database_name]
+    migrate_generated_dataset(database, tiny_generator, tables=QUERY_TABLES)
+    return database
+
+
+@pytest.fixture(scope="session")
+def denormalized_db(tiny_generator):
+    """A stand-alone database with normalized *and* denormalized collections."""
+    client = DocumentStoreClient()
+    database = client[TINY.database_name]
+    migrate_generated_dataset(database, tiny_generator, tables=QUERY_TABLES)
+    denormalize_all_facts(database)
+    return database
+
+
+@pytest.fixture(scope="session")
+def sharded_env(tiny_generator):
+    """A 3-shard cluster loaded with the normalized tiny dataset."""
+    cluster = ShardedCluster(shard_count=3)
+    database_name = TINY.database_name
+    cluster.enable_sharding(database_name)
+    for collection_name, shard_key in SHARD_KEYS.items():
+        if collection_name in QUERY_TABLES:
+            cluster.shard_collection(
+                database_name,
+                collection_name,
+                shard_key,
+                chunk_size_bytes=EXPERIMENT_CHUNK_SIZE_BYTES,
+            )
+    routed = cluster.get_database(database_name)
+    migrate_generated_dataset(routed, tiny_generator, tables=QUERY_TABLES)
+    cluster.balance()
+    cluster.reset_metrics()
+    return cluster, routed

@@ -1,0 +1,160 @@
+"""Tests for document validation, size accounting, and wire serialization."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.documentstore import (
+    MAX_DOCUMENT_SIZE,
+    DocumentTooLargeError,
+    InvalidDocumentError,
+    ObjectId,
+    document_size,
+    validate_document,
+)
+from repro.documentstore.bson import (
+    decode_batch,
+    decode_document,
+    deep_copy_document,
+    encode_batch,
+    encode_document,
+)
+
+
+class TestValidation:
+    def test_accepts_simple_document(self):
+        validate_document({"name": "earl", "age": 36, "scores": [1, 2, 3]})
+
+    def test_accepts_nested_documents_and_dates(self):
+        validate_document(
+            {
+                "_id": ObjectId(),
+                "address": {"city": "Midway", "zip": "45040"},
+                "born": datetime.date(1979, 9, 25),
+                "updated": datetime.datetime(2015, 11, 9, 12, 0),
+            }
+        )
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document(["not", "a", "document"])
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document({1: "numeric key"})
+
+    def test_rejects_dollar_prefixed_keys(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document({"$set": 1})
+
+    def test_rejects_dotted_keys(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document({"a.b": 1})
+
+    def test_rejects_unsupported_value_types(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document({"value": object()})
+
+    def test_rejects_documents_over_16mb(self):
+        huge = {"payload": "x" * (MAX_DOCUMENT_SIZE + 1)}
+        with pytest.raises(DocumentTooLargeError):
+            validate_document(huge)
+
+    def test_nested_dollar_keys_rejected(self):
+        with pytest.raises(InvalidDocumentError):
+            validate_document({"outer": {"$inner": 1}})
+
+
+class TestDocumentSize:
+    def test_empty_document_has_minimal_size(self):
+        assert document_size({}) == 5
+
+    def test_size_grows_with_repeated_keys(self):
+        """Repeating keys per document drives the ~9x growth of Section 4.1.2."""
+        narrow = document_size({"a": 1})
+        wide = document_size({"customer_address_street_name": 1})
+        assert wide > narrow
+
+    def test_string_size_includes_length(self):
+        assert document_size({"k": "abcd"}) == document_size({"k": ""}) + 4
+
+    def test_array_size_counts_elements(self):
+        assert document_size({"k": [1, 2, 3]}) > document_size({"k": [1]})
+
+    def test_size_of_unsupported_type_raises(self):
+        with pytest.raises(InvalidDocumentError):
+            document_size({"k": object()})
+
+
+class TestDeepCopy:
+    def test_copy_is_independent(self):
+        original = {"nested": {"values": [1, 2, 3]}}
+        copy = deep_copy_document(original)
+        copy["nested"]["values"].append(4)
+        assert original["nested"]["values"] == [1, 2, 3]
+
+    def test_scalars_pass_through(self):
+        assert deep_copy_document(42) == 42
+        assert deep_copy_document("text") == "text"
+
+
+class TestWireFormat:
+    def test_round_trip_plain_document(self):
+        document = {"name": "earl", "age": 36, "nested": {"tags": ["a", "b"]}}
+        assert decode_document(encode_document(document)) == document
+
+    def test_round_trip_objectid(self):
+        document = {"_id": ObjectId()}
+        decoded = decode_document(encode_document(document))
+        assert decoded["_id"] == document["_id"]
+
+    def test_round_trip_dates(self):
+        document = {
+            "day": datetime.date(2002, 5, 29),
+            "timestamp": datetime.datetime(2002, 5, 29, 10, 30),
+        }
+        decoded = decode_document(encode_document(document))
+        assert decoded == document
+
+    def test_round_trip_bytes(self):
+        document = {"blob": b"\x00\x01\x02"}
+        assert decode_document(encode_document(document)) == document
+
+    def test_batch_round_trip(self):
+        documents = [{"i": i} for i in range(10)]
+        assert decode_batch(encode_batch(documents)) == documents
+
+
+_KEYS = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+_SCALARS = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(alphabet="xyz ", max_size=10)
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        _KEYS,
+        st.recursive(
+            _SCALARS,
+            lambda children: st.lists(children, max_size=3)
+            | st.dictionaries(_KEYS, children, max_size=3),
+            max_leaves=8,
+        ),
+        max_size=5,
+    )
+)
+def test_wire_format_round_trips_arbitrary_documents(document):
+    """Any JSON-like document survives the simulated wire."""
+    try:
+        validate_document(document, check_size=False)
+    except InvalidDocumentError:
+        return  # documents our validator rejects need not round-trip
+    assert decode_document(encode_document(document)) == document

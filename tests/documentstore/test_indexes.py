@@ -1,0 +1,174 @@
+"""Tests for secondary indexes (single-field, compound, hashed, multikey)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.documentstore import DuplicateKeyError, OperationFailure
+from repro.documentstore.indexes import ASCENDING, DESCENDING, HASHED, Index, IndexSpec, hashed_value
+
+
+def build_index(keys, *, unique=False, documents=()):
+    index = Index(IndexSpec.from_key_specification(keys, unique=unique))
+    for doc_id, document in enumerate(documents, start=1):
+        index.insert(document, doc_id)
+    return index
+
+
+class TestIndexSpec:
+    def test_name_is_generated_from_keys(self):
+        spec = IndexSpec.from_key_specification([("age", ASCENDING), ("name", DESCENDING)])
+        assert spec.name == "age_1_name_-1"
+
+    def test_string_shorthand(self):
+        spec = IndexSpec.from_key_specification("age")
+        assert spec.keys == (("age", ASCENDING),)
+
+    def test_mapping_shorthand(self):
+        spec = IndexSpec.from_key_specification({"age": 1, "name": -1})
+        assert spec.fields == ("age", "name")
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(OperationFailure):
+            IndexSpec(keys=())
+
+    def test_hashed_compound_rejected(self):
+        with pytest.raises(OperationFailure):
+            IndexSpec(keys=(("a", HASHED), ("b", 1)))
+
+    def test_is_hashed(self):
+        assert IndexSpec.from_key_specification({"a": HASHED}).is_hashed
+        assert not IndexSpec.from_key_specification("a").is_hashed
+
+
+class TestPointAndPrefixLookups:
+    def test_point_lookup_single_field(self):
+        index = build_index("age", documents=[{"age": 30}, {"age": 25}, {"age": 30}])
+        assert sorted(index.point_lookup((30,))) == [1, 3]
+        assert index.point_lookup((99,)) == []
+
+    def test_missing_field_indexes_null(self):
+        index = build_index("age", documents=[{"age": 30}, {"name": "no-age"}])
+        assert index.point_lookup((None,)) == [2]
+
+    def test_compound_point_lookup(self):
+        index = build_index(
+            [("last", 1), ("first", 1)],
+            documents=[
+                {"last": "Smith", "first": "Anna"},
+                {"last": "Smith", "first": "Earl"},
+                {"last": "Jones", "first": "Anna"},
+            ],
+        )
+        assert index.point_lookup(("Smith", "Earl")) == [2]
+
+    def test_prefix_lookup_uses_leading_fields(self):
+        """A compound index answers queries on its prefix (Section 2.1.2)."""
+        index = build_index(
+            [("last", 1), ("first", 1), ("gender", 1)],
+            documents=[
+                {"last": "Smith", "first": "Anna", "gender": "F"},
+                {"last": "Smith", "first": "Earl", "gender": "M"},
+                {"last": "Jones", "first": "Anna", "gender": "F"},
+            ],
+        )
+        assert sorted(index.prefix_lookup(("Smith",))) == [1, 2]
+        assert index.prefix_lookup(("Smith", "Anna"))[0] == 1
+
+    def test_multikey_index_fans_out_over_arrays(self):
+        index = build_index("tags", documents=[{"tags": ["red", "blue"]}, {"tags": ["green"]}])
+        assert index.point_lookup(("red",)) == [1]
+        assert index.point_lookup(("green",)) == [2]
+
+
+class TestRangeLookups:
+    def test_range_lookup_inclusive(self):
+        index = build_index("price", documents=[{"price": p} for p in (0.5, 0.99, 1.2, 1.49, 2.0)])
+        assert sorted(index.range_lookup(0.99, 1.49)) == [2, 3, 4]
+
+    def test_range_lookup_exclusive_bounds(self):
+        index = build_index("price", documents=[{"price": p} for p in (1, 2, 3, 4)])
+        assert sorted(
+            index.range_lookup(1, 4, include_lower=False, include_upper=False)
+        ) == [2, 3]
+
+    def test_open_ended_ranges(self):
+        index = build_index("price", documents=[{"price": p} for p in (1, 2, 3)])
+        assert sorted(index.range_lookup(lower=2)) == [2, 3]
+        assert sorted(index.range_lookup(upper=2)) == [1, 2]
+
+    def test_hashed_index_rejects_range_scan(self):
+        index = build_index({"key": HASHED}, documents=[{"key": 5}])
+        with pytest.raises(OperationFailure):
+            index.range_lookup(1, 10)
+
+    def test_scan_returns_key_order(self):
+        index = build_index("v", documents=[{"v": 3}, {"v": 1}, {"v": 2}])
+        assert [key[0] for key, _doc in index.scan()] == [1, 2, 3]
+        assert [key[0] for key, _doc in index.scan(reverse=True)] == [3, 2, 1]
+
+
+class TestMaintenance:
+    def test_remove_deletes_only_matching_entry(self):
+        index = build_index("age", documents=[{"age": 30}, {"age": 30}])
+        index.remove({"age": 30}, 1)
+        assert index.point_lookup((30,)) == [2]
+
+    def test_replace_moves_entry(self):
+        index = build_index("age", documents=[{"age": 30}])
+        index.replace({"age": 30}, {"age": 31}, 1)
+        assert index.point_lookup((30,)) == []
+        assert index.point_lookup((31,)) == [1]
+
+    def test_unique_index_rejects_duplicates(self):
+        index = build_index("email", unique=True, documents=[{"email": "a@x.com"}])
+        with pytest.raises(DuplicateKeyError):
+            index.insert({"email": "a@x.com"}, 2)
+
+    def test_clear_empties_index(self):
+        index = build_index("age", documents=[{"age": 1}, {"age": 2}])
+        index.clear()
+        assert len(index) == 0
+
+    def test_distinct_first_values(self):
+        index = build_index("age", documents=[{"age": 2}, {"age": 1}, {"age": 2}])
+        assert index.distinct_first_values() == [1, 2]
+
+
+class TestHashedIndex:
+    def test_hashed_point_lookup(self):
+        index = build_index({"key": HASHED}, documents=[{"key": i} for i in range(20)])
+        assert index.point_lookup((7,)) == [8]
+
+    def test_hashed_value_is_deterministic(self):
+        assert hashed_value(42) == hashed_value(42)
+        assert hashed_value("abc") == hashed_value("abc")
+
+    def test_hashed_value_spreads_nearby_keys(self):
+        values = {hashed_value(i) for i in range(100)}
+        assert len(values) == 100
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60))
+def test_range_lookup_matches_linear_filter(values):
+    """Property: index range scans agree with a straightforward filter."""
+    documents = [{"v": value} for value in values]
+    index = build_index("v", documents=documents)
+    lower, upper = -100, 100
+    expected = sorted(
+        doc_id for doc_id, document in enumerate(documents, start=1)
+        if lower <= document["v"] <= upper
+    )
+    assert sorted(index.range_lookup(lower, upper)) == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60))
+def test_point_lookup_matches_linear_filter(values):
+    documents = [{"v": value} for value in values]
+    index = build_index("v", documents=documents)
+    needle = values[0]
+    expected = sorted(
+        doc_id for doc_id, document in enumerate(documents, start=1) if document["v"] == needle
+    )
+    assert sorted(index.point_lookup((needle,))) == expected

@@ -1,0 +1,162 @@
+"""Tests for on-disk persistence and the query planner's plan selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documentstore import Collection, DocumentStoreClient, ObjectId, plan_query
+from repro.documentstore.indexes import Index, IndexSpec
+from repro.documentstore.storage import (
+    dump_collection,
+    dump_database,
+    iter_jsonl,
+    load_collection,
+    load_database,
+)
+
+
+class TestCollectionPersistence:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        source = Collection(None, "events")
+        source.insert_many([{"k": i, "payload": {"nested": [i, i + 1]}} for i in range(50)])
+        path = tmp_path / "events.jsonl"
+        written = dump_collection(source, path)
+        assert written == 50
+
+        target = Collection(None, "events")
+        loaded = load_collection(target, path)
+        assert loaded == 50
+        assert target.count_documents({}) == 50
+        assert target.find_one({"k": 7})["payload"]["nested"] == [7, 8]
+
+    def test_object_ids_survive_round_trip(self, tmp_path):
+        source = Collection(None, "c")
+        inserted = source.insert_one({"name": "x"}).inserted_id
+        dump_collection(source, tmp_path / "c.jsonl")
+        target = Collection(None, "c")
+        load_collection(target, tmp_path / "c.jsonl")
+        assert target.find_one({})["_id"] == inserted
+        assert isinstance(target.find_one({})["_id"], ObjectId)
+
+    def test_iter_jsonl_streams_documents(self, tmp_path):
+        source = Collection(None, "c")
+        source.insert_many([{"k": i} for i in range(5)])
+        path = tmp_path / "c.jsonl"
+        dump_collection(source, path)
+        assert sum(1 for _ in iter_jsonl(path)) == 5
+
+
+class TestDatabasePersistence:
+    def test_dump_database_writes_manifest(self, tmp_path):
+        client = DocumentStoreClient()
+        database = client["db"]
+        database["a"].insert_many([{"x": 1}, {"x": 2}])
+        database["b"].insert_one({"y": 3})
+        database["b"].create_index("y")
+        counts = dump_database(database, tmp_path)
+        assert counts == {"a": 2, "b": 1}
+        assert (tmp_path / "__manifest__.json").exists()
+        assert (tmp_path / "a.jsonl").exists()
+
+    def test_load_database_restores_collections_and_indexes(self, tmp_path):
+        client = DocumentStoreClient()
+        database = client["db"]
+        database["a"].insert_many([{"x": i} for i in range(10)])
+        database["a"].create_index("x")
+        dump_database(database, tmp_path)
+
+        restored = DocumentStoreClient()["db2"]
+        counts = load_database(restored, tmp_path)
+        assert counts == {"a": 10}
+        assert restored["a"].count_documents({}) == 10
+        assert "x_1" in restored["a"].index_information()
+
+
+def make_indexes(*specs):
+    indexes = {}
+    for spec in specs:
+        index_spec = IndexSpec.from_key_specification(spec)
+        indexes[index_spec.name] = Index(index_spec)
+    return indexes
+
+
+class TestPlanSelection:
+    def test_no_indexes_means_collscan(self):
+        plan = plan_query({"a": 1}, {}, collection_size=100)
+        assert plan.stage == "COLLSCAN"
+        assert plan.documents_examined == 100
+
+    def test_no_filter_means_collscan(self):
+        plan = plan_query({}, make_indexes("a"), collection_size=10)
+        assert plan.stage == "COLLSCAN"
+
+    def test_equality_on_indexed_field_uses_index(self):
+        indexes = make_indexes("a")
+        indexes["a_1"].insert({"a": 1}, 1)
+        indexes["a_1"].insert({"a": 2}, 2)
+        plan = plan_query({"a": 1}, indexes, collection_size=2)
+        assert plan.stage == "IXSCAN"
+        assert plan.candidate_ids == (1,)
+
+    def test_range_on_indexed_field_uses_index(self):
+        indexes = make_indexes("a")
+        for doc_id, value in enumerate((5, 10, 15, 20), start=1):
+            indexes["a_1"].insert({"a": value}, doc_id)
+        plan = plan_query({"a": {"$gte": 10, "$lte": 15}}, indexes, collection_size=4)
+        assert plan.stage == "IXSCAN"
+        assert set(plan.candidate_ids) == {2, 3}
+
+    def test_in_fans_out_to_point_lookups(self):
+        indexes = make_indexes("a")
+        for doc_id, value in enumerate((1, 2, 3, 4), start=1):
+            indexes["a_1"].insert({"a": value}, doc_id)
+        plan = plan_query({"a": {"$in": [2, 4]}}, indexes, collection_size=4)
+        assert plan.stage == "IXSCAN"
+        assert set(plan.candidate_ids) == {2, 4}
+
+    def test_conditions_inside_and_are_used(self):
+        indexes = make_indexes("a")
+        indexes["a_1"].insert({"a": 3}, 1)
+        plan = plan_query({"$and": [{"a": 3}, {"b": {"$gt": 1}}]}, indexes, collection_size=1)
+        assert plan.stage == "IXSCAN"
+
+    def test_or_queries_do_not_use_indexes(self):
+        indexes = make_indexes("a")
+        indexes["a_1"].insert({"a": 3}, 1)
+        plan = plan_query({"$or": [{"a": 3}, {"b": 1}]}, indexes, collection_size=1)
+        assert plan.stage == "COLLSCAN"
+
+    def test_longer_equality_prefix_wins(self):
+        indexes = make_indexes("a", [("a", 1), ("b", 1)])
+        indexes["a_1"].insert({"a": 1, "b": 2}, 1)
+        indexes["a_1_b_1"].insert({"a": 1, "b": 2}, 1)
+        plan = plan_query({"a": 1, "b": 2}, indexes, collection_size=1)
+        assert plan.index_name == "a_1_b_1"
+
+    def test_hashed_index_serves_equality_but_not_range(self):
+        indexes = make_indexes({"a": "hashed"})
+        indexes["a_hashed"].insert({"a": 10}, 1)
+        equality_plan = plan_query({"a": 10}, indexes, collection_size=1)
+        assert equality_plan.stage == "IXSCAN"
+        range_plan = plan_query({"a": {"$gte": 5}}, indexes, collection_size=1)
+        assert range_plan.stage == "COLLSCAN"
+
+    def test_plan_describe_shapes(self):
+        indexes = make_indexes("a")
+        indexes["a_1"].insert({"a": 1}, 1)
+        description = plan_query({"a": 1}, indexes, collection_size=1).describe()
+        assert description["stage"] == "IXSCAN"
+        assert description["indexName"] == "a_1"
+        collscan = plan_query({"zzz": 1}, indexes, collection_size=1).describe()
+        assert collscan == {"stage": "COLLSCAN"}
+
+    def test_plans_are_supersets_of_matches(self):
+        """The planner may over-approximate but never under-approximate."""
+        collection = Collection(None, "c")
+        collection.insert_many([{"a": i % 5, "b": i % 3} for i in range(60)])
+        collection.create_index("a")
+        expected = {
+            doc["_id"] for doc in collection.find({"a": 2, "b": 1})
+        }
+        with_index = {doc["_id"] for doc in collection.find({"a": 2, "b": 1})}
+        assert with_index == expected

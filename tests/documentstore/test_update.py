@@ -1,0 +1,141 @@
+"""Tests for update-operator application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documentstore import InvalidUpdateError
+from repro.documentstore.update import apply_update, build_upsert_document, is_update_document
+
+
+class TestIsUpdateDocument:
+    def test_operator_document(self):
+        assert is_update_document({"$set": {"a": 1}})
+
+    def test_replacement_document(self):
+        assert not is_update_document({"a": 1})
+
+    def test_empty_document(self):
+        assert not is_update_document({})
+
+    def test_mixed_document_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            is_update_document({"$set": {"a": 1}, "b": 2})
+
+
+class TestSetAndUnset:
+    def test_set_top_level_field(self):
+        assert apply_update({"a": 1}, {"$set": {"b": 2}}) == {"a": 1, "b": 2}
+
+    def test_set_overwrites(self):
+        assert apply_update({"a": 1}, {"$set": {"a": 9}}) == {"a": 9}
+
+    def test_set_dotted_path_creates_parents(self):
+        updated = apply_update({}, {"$set": {"address.city": "Midway"}})
+        assert updated == {"address": {"city": "Midway"}}
+
+    def test_set_replaces_foreign_key_with_document(self):
+        """The EmbedDocuments update of Figure 4.7, step 10."""
+        sale = {"ss_item_sk": 42, "ss_quantity": 3}
+        item = {"i_item_sk": 42, "i_item_id": "AAAA42"}
+        updated = apply_update(sale, {"$set": {"ss_item_sk": item}})
+        assert updated["ss_item_sk"] == item
+        assert updated["ss_quantity"] == 3
+
+    def test_original_document_is_not_mutated(self):
+        original = {"a": {"b": 1}}
+        apply_update(original, {"$set": {"a.b": 2}})
+        assert original == {"a": {"b": 1}}
+
+    def test_set_value_is_copied(self):
+        payload = {"nested": [1, 2]}
+        updated = apply_update({}, {"$set": {"field": payload}})
+        payload["nested"].append(3)
+        assert updated["field"]["nested"] == [1, 2]
+
+    def test_unset_removes_field(self):
+        assert apply_update({"a": 1, "b": 2}, {"$unset": {"b": ""}}) == {"a": 1}
+
+    def test_unset_missing_field_is_noop(self):
+        assert apply_update({"a": 1}, {"$unset": {"zzz": ""}}) == {"a": 1}
+
+    def test_unset_dotted_path(self):
+        updated = apply_update({"a": {"b": 1, "c": 2}}, {"$unset": {"a.b": ""}})
+        assert updated == {"a": {"c": 2}}
+
+
+class TestArithmeticOperators:
+    def test_inc(self):
+        assert apply_update({"n": 5}, {"$inc": {"n": 3}})["n"] == 8
+
+    def test_inc_missing_field_starts_at_zero(self):
+        assert apply_update({}, {"$inc": {"n": 3}})["n"] == 3
+
+    def test_inc_non_numeric_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            apply_update({"n": "text"}, {"$inc": {"n": 1}})
+
+    def test_mul(self):
+        assert apply_update({"n": 5}, {"$mul": {"n": 3}})["n"] == 15
+
+    def test_min_and_max(self):
+        assert apply_update({"n": 5}, {"$min": {"n": 3}})["n"] == 3
+        assert apply_update({"n": 5}, {"$min": {"n": 7}})["n"] == 5
+        assert apply_update({"n": 5}, {"$max": {"n": 7}})["n"] == 7
+
+    def test_rename(self):
+        assert apply_update({"old": 1}, {"$rename": {"old": "new"}}) == {"new": 1}
+
+
+class TestArrayOperators:
+    def test_push(self):
+        assert apply_update({"tags": ["a"]}, {"$push": {"tags": "b"}})["tags"] == ["a", "b"]
+
+    def test_push_each(self):
+        updated = apply_update({"tags": []}, {"$push": {"tags": {"$each": ["a", "b"]}}})
+        assert updated["tags"] == ["a", "b"]
+
+    def test_push_creates_array(self):
+        assert apply_update({}, {"$push": {"tags": "a"}})["tags"] == ["a"]
+
+    def test_push_on_non_array_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            apply_update({"tags": 5}, {"$push": {"tags": "a"}})
+
+    def test_add_to_set_skips_duplicates(self):
+        updated = apply_update({"tags": ["a"]}, {"$addToSet": {"tags": "a"}})
+        assert updated["tags"] == ["a"]
+
+    def test_pull_by_value(self):
+        updated = apply_update({"tags": ["a", "b", "a"]}, {"$pull": {"tags": "a"}})
+        assert updated["tags"] == ["b"]
+
+    def test_pull_by_condition(self):
+        updated = apply_update({"scores": [1, 5, 9]}, {"$pull": {"scores": {"$gt": 4}}})
+        assert updated["scores"] == [1]
+
+    def test_pop_first_and_last(self):
+        assert apply_update({"v": [1, 2, 3]}, {"$pop": {"v": 1}})["v"] == [1, 2]
+        assert apply_update({"v": [1, 2, 3]}, {"$pop": {"v": -1}})["v"] == [2, 3]
+
+
+class TestReplacementAndUpsert:
+    def test_replacement_keeps_id(self):
+        updated = apply_update({"_id": 7, "a": 1}, {"b": 2})
+        assert updated == {"b": 2, "_id": 7}
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            apply_update({}, {"$explode": {"a": 1}})
+
+    def test_upsert_document_seeds_equality_fields(self):
+        document = build_upsert_document({"sku": "X1", "qty": {"$gt": 5}}, {"$set": {"price": 2.5}})
+        assert document == {"sku": "X1", "price": 2.5}
+
+    def test_upsert_honours_set_on_insert(self):
+        document = build_upsert_document({"sku": "X1"}, {"$setOnInsert": {"created": True}})
+        assert document["created"] is True
+
+    def test_set_on_insert_skipped_on_normal_update(self):
+        updated = apply_update({"a": 1}, {"$setOnInsert": {"created": True}})
+        assert "created" not in updated

@@ -1,0 +1,138 @@
+"""Tests for the ``.dat`` file format and the query definitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.experiments import tiny_profile
+from repro.tpcds import (
+    QUERY_DEFINITIONS,
+    QUERY_FEATURES,
+    QUERY_IDS,
+    TPCDSGenerator,
+    format_row,
+    parse_line,
+    query_definition,
+    query_parameters,
+    read_dat_file,
+    table_schema,
+    write_dat_file,
+    write_dataset,
+)
+
+
+class TestDatFiles:
+    def test_format_row_uses_pipe_delimiter(self):
+        schema = table_schema("warehouse")
+        row = {"w_warehouse_sk": 1, "w_warehouse_name": "Doors canno", "w_city": "Midway"}
+        line = format_row(schema, row)
+        assert line.count("|") == len(schema.columns)
+        assert line.startswith("1|")
+
+    def test_null_columns_are_empty_fields(self):
+        schema = table_schema("warehouse")
+        line = format_row(schema, {"w_warehouse_sk": 3})
+        parsed = parse_line(schema, line)
+        assert parsed["w_warehouse_sk"] == 3
+        assert parsed["w_warehouse_name"] is None
+
+    def test_parse_line_types_columns(self):
+        schema = table_schema("item")
+        row = {"i_item_sk": 5, "i_item_id": "AAAA5", "i_current_price": 1.25}
+        parsed = parse_line(schema, format_row(schema, row))
+        assert parsed["i_item_sk"] == 5
+        assert parsed["i_current_price"] == pytest.approx(1.25)
+        assert parsed["i_item_id"] == "AAAA5"
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        generator = TPCDSGenerator(tiny_profile(1 / 20_000), seed=5)
+        rows = generator.generate_table("store")
+        path = write_dat_file("store", rows, tmp_path)
+        assert path.name == "store.dat"
+        read_back = list(read_dat_file("store", path))
+        assert len(read_back) == len(rows)
+        assert read_back[0]["s_store_sk"] == rows[0]["s_store_sk"]
+        assert read_back[0]["s_city"] == rows[0]["s_city"]
+
+    def test_write_dataset_creates_one_file_per_table(self, tmp_path):
+        generator = TPCDSGenerator(tiny_profile(1 / 20_000), seed=5)
+        tables = {name: generator.generate_table(name) for name in ("store", "warehouse")}
+        paths = write_dataset(tables, tmp_path)
+        assert set(paths) == {"store", "warehouse"}
+        assert all(path.exists() for path in paths.values())
+
+    def test_float_formatting_keeps_two_decimals(self):
+        schema = table_schema("item")
+        line = format_row(schema, {"i_item_sk": 1, "i_current_price": 1.5})
+        assert "|1.50|" in line
+
+
+class TestQueryDefinitions:
+    def test_the_four_selected_queries(self):
+        assert QUERY_IDS == (7, 21, 46, 50)
+        assert set(QUERY_DEFINITIONS) == {7, 21, 46, 50}
+
+    def test_table_35_feature_counts(self):
+        assert QUERY_FEATURES[7]["tables"] == 5
+        assert QUERY_FEATURES[21]["tables"] == 4
+        assert QUERY_FEATURES[46]["tables"] == 6
+        assert QUERY_FEATURES[50]["tables"] == 5
+        assert QUERY_FEATURES[50]["conditional_constructs"] == 5
+        assert QUERY_FEATURES[46]["correlated_subqueries"] == 1
+
+    def test_each_query_meets_three_or_more_selection_criteria(self):
+        """Section 3.4: every selected query satisfies >= 3 of the 5 criteria."""
+        for query_id, features in QUERY_FEATURES.items():
+            criteria_met = sum(
+                [
+                    features["tables"] >= 4,
+                    features["aggregation_functions"] >= 1,
+                    features["group_order_clauses"] >= 1,
+                    features["conditional_constructs"] >= 1,
+                    features["correlated_subqueries"] >= 1,
+                ]
+            )
+            assert criteria_met >= 3, f"query {query_id} meets only {criteria_met} criteria"
+
+    def test_sql_text_substitutes_parameters(self):
+        sql = query_definition(7).sql()
+        assert "cd_education_status = '4 yr Degree'" in sql
+        assert "d_year = 2001" in sql
+
+    def test_sql_text_with_custom_parameters(self):
+        sql = query_definition(7).sql({"year": 1999, "gender": "F"})
+        assert "d_year = 1999" in sql and "cd_gender = 'F'" in sql
+
+    def test_query50_sql_contains_aging_buckets(self):
+        sql = query_definition(50).sql()
+        assert '"30 days"' in sql and '">120 days"' in sql
+
+    def test_query_tables_listed(self):
+        assert query_definition(21).tables == ("inventory", "warehouse", "item", "date_dim")
+        assert "store_returns" in query_definition(50).fact_tables
+
+    def test_query_parameters_default_and_scaled(self):
+        assert query_parameters(50)["month"] == 10
+        assert query_parameters(7, "large")["year"] == 2001
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            query_definition(99)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.floats(min_value=0, max_value=10_000, allow_nan=False),
+    st.text(alphabet="abcXYZ 0123", max_size=15),
+)
+def test_dat_round_trip_property(key, price, name):
+    """Property: any row survives the format/parse round trip."""
+    schema = table_schema("item")
+    row = {"i_item_sk": key, "i_current_price": round(price, 2), "i_product_name": name}
+    parsed = parse_line(schema, format_row(schema, row))
+    assert parsed["i_item_sk"] == key
+    assert parsed["i_current_price"] == pytest.approx(round(price, 2))
+    expected_name = name if name != "" else None
+    assert parsed["i_product_name"] == expected_name

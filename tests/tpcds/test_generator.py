@@ -1,0 +1,180 @@
+"""Tests for the synthetic data generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import tiny_profile
+from repro.tpcds import (
+    SCALE_SMALL,
+    TPCDSGenerator,
+    generation_row_counts,
+    table_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TPCDSGenerator(tiny_profile(1.0 / 10_000.0), seed=7)
+
+
+class TestDeterminismAndCounts:
+    def test_row_counts_match_scaling(self, generator):
+        counts = generation_row_counts(generator.profile)
+        for table in ("store_sales", "item", "store", "inventory"):
+            assert len(generator.generate_table(table)) == counts[table]
+
+    def test_same_seed_same_data(self):
+        profile = tiny_profile(1.0 / 10_000.0)
+        first = TPCDSGenerator(profile, seed=11).generate_table("store_sales")
+        second = TPCDSGenerator(profile, seed=11).generate_table("store_sales")
+        assert first == second
+
+    def test_different_seed_different_data(self):
+        profile = tiny_profile(1.0 / 10_000.0)
+        first = TPCDSGenerator(profile, seed=11).generate_table("store_sales")
+        second = TPCDSGenerator(profile, seed=12).generate_table("store_sales")
+        assert first != second
+
+    def test_generation_is_order_independent(self):
+        """Generating a dependent table first must not change its contents."""
+        profile = tiny_profile(1.0 / 10_000.0)
+        eager = TPCDSGenerator(profile, seed=3)
+        eager_returns = eager.generate_table("store_returns")
+        lazy = TPCDSGenerator(profile, seed=3)
+        lazy.generate_table("item")
+        lazy.generate_table("store")
+        assert lazy.generate_table("store_returns") == eager_returns
+
+    def test_generate_all_covers_every_table(self, generator):
+        dataset = generator.generate_all()
+        assert len(dataset.tables) == 24
+        assert dataset.row_counts()["warehouse"] == 5
+
+    def test_unknown_table_rejected(self, generator):
+        with pytest.raises(KeyError):
+            generator.generate_table("nope")
+
+
+class TestRowShape:
+    def test_rows_match_schema_columns(self, generator):
+        for table_name in ("store_sales", "date_dim", "customer", "web_sales"):
+            schema = table_schema(table_name)
+            row = generator.generate_table(table_name)[0]
+            assert set(row) == set(schema.column_names)
+
+    def test_surrogate_keys_are_sequential(self, generator):
+        items = generator.generate_table("item")
+        assert [row["i_item_sk"] for row in items] == list(range(1, len(items) + 1))
+
+    def test_date_dim_is_contiguous_calendar(self, generator):
+        dates = generator.generate_table("date_dim")
+        assert dates[0]["d_date"] == "1998-01-01"
+        assert dates[-1]["d_date"] == "2003-12-31"
+        keys = [row["d_date_sk"] for row in dates]
+        assert keys == list(range(keys[0], keys[0] + len(keys)))
+
+    def test_date_dim_weekend_flags(self, generator):
+        dates = generator.generate_table("date_dim")
+        # 1998-01-04 is a Sunday -> d_dow == 0 in the TPC-DS convention.
+        sunday = next(row for row in dates if row["d_date"] == "1998-01-04")
+        assert sunday["d_dow"] == 0
+        saturday = next(row for row in dates if row["d_date"] == "1998-01-03")
+        assert saturday["d_dow"] == 6
+
+
+class TestReferentialIntegrity:
+    def test_store_sales_foreign_keys_resolve(self, generator):
+        sales = generator.generate_table("store_sales")
+        item_keys = {row["i_item_sk"] for row in generator.generate_table("item")}
+        store_keys = {row["s_store_sk"] for row in generator.generate_table("store")}
+        date_keys = {row["d_date_sk"] for row in generator.generate_table("date_dim")}
+        for sale in sales:
+            assert sale["ss_item_sk"] in item_keys
+            assert sale["ss_store_sk"] in store_keys
+            assert sale["ss_sold_date_sk"] in date_keys
+
+    def test_store_returns_reference_existing_sales(self, generator):
+        sales_keys = {
+            (row["ss_ticket_number"], row["ss_item_sk"], row["ss_customer_sk"])
+            for row in generator.generate_table("store_sales")
+        }
+        for return_row in generator.generate_table("store_returns"):
+            key = (
+                return_row["sr_ticket_number"],
+                return_row["sr_item_sk"],
+                return_row["sr_customer_sk"],
+            )
+            assert key in sales_keys
+
+    def test_returns_happen_after_sales(self, generator):
+        sales_by_key = {
+            (row["ss_ticket_number"], row["ss_item_sk"]): row["ss_sold_date_sk"]
+            for row in generator.generate_table("store_sales")
+        }
+        for return_row in generator.generate_table("store_returns"):
+            sold = sales_by_key[(return_row["sr_ticket_number"], return_row["sr_item_sk"])]
+            assert return_row["sr_returned_date_sk"] >= sold
+
+    def test_inventory_references_items_and_warehouses(self, generator):
+        item_count = len(generator.generate_table("item"))
+        warehouse_count = len(generator.generate_table("warehouse"))
+        for row in generator.generate_table("inventory")[:500]:
+            assert 1 <= row["inv_item_sk"] <= item_count
+            assert 1 <= row["inv_warehouse_sk"] <= warehouse_count
+
+
+class TestQueryPredicateCoverage:
+    """The query predicates must select non-empty, non-trivial fractions."""
+
+    @pytest.fixture(scope="class")
+    def small_generator(self):
+        return TPCDSGenerator(SCALE_SMALL, seed=20151109)
+
+    def test_q7_demographic_bucket_exists(self, small_generator):
+        demographics = small_generator.generate_table("customer_demographics")
+        bucket = [
+            row
+            for row in demographics
+            if row["cd_gender"] == "M"
+            and row["cd_marital_status"] == "M"
+            and row["cd_education_status"] == "4 yr Degree"
+        ]
+        assert bucket, "Q7's demographic bucket must exist"
+
+    def test_q7_sales_exist_in_2001(self, small_generator):
+        dates_2001 = {
+            row["d_date_sk"]
+            for row in small_generator.generate_table("date_dim")
+            if row["d_year"] == 2001
+        }
+        sales = small_generator.generate_table("store_sales")
+        fraction = sum(1 for s in sales if s["ss_sold_date_sk"] in dates_2001) / len(sales)
+        assert 0.05 < fraction < 0.4
+
+    def test_q21_price_band_has_items(self, small_generator):
+        items = small_generator.generate_table("item")
+        in_band = [row for row in items if 0.99 <= row["i_current_price"] <= 1.49]
+        assert in_band
+
+    def test_q46_cities_present_in_stores(self, small_generator):
+        cities = {row["s_city"] for row in small_generator.generate_table("store")}
+        assert {"Midway", "Fairview"} & cities
+
+    def test_q50_october_1998_returns_exist(self, small_generator):
+        october_dates = {
+            row["d_date_sk"]
+            for row in small_generator.generate_table("date_dim")
+            if row["d_year"] == 1998 and row["d_moy"] == 10
+        }
+        returns = small_generator.generate_table("store_returns")
+        assert any(row["sr_returned_date_sk"] in october_dates for row in returns)
+
+    def test_promotions_mostly_off_email_and_event_channels(self, small_generator):
+        promotions = small_generator.generate_table("promotion")
+        matching = [
+            row
+            for row in promotions
+            if row["p_channel_email"] == "N" or row["p_channel_event"] == "N"
+        ]
+        assert len(matching) / len(promotions) > 0.8

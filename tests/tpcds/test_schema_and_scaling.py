@@ -1,0 +1,133 @@
+"""Tests for the TPC-DS schema description and dataset scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcds import (
+    DIMENSION_TABLES,
+    FACT_TABLES,
+    NON_SCALING_TABLES,
+    PAPER_ROW_COUNTS,
+    QUERY_TABLES,
+    SCALE_LARGE,
+    SCALE_SMALL,
+    ScaleProfile,
+    TPCDS_TABLES,
+    generation_row_counts,
+    paper_row_counts,
+    table_schema,
+)
+
+
+class TestSchema:
+    def test_twenty_four_tables(self):
+        """Section 3.4: 7 fact tables and 17 dimension tables."""
+        assert len(TPCDS_TABLES) == 24
+        assert len(FACT_TABLES) == 7
+        assert len(DIMENSION_TABLES) == 17
+
+    def test_query_tables_are_three_facts_and_nine_dimensions(self):
+        facts = [name for name in QUERY_TABLES if TPCDS_TABLES[name].is_fact]
+        dimensions = [name for name in QUERY_TABLES if not TPCDS_TABLES[name].is_fact]
+        assert sorted(facts) == ["inventory", "store_returns", "store_sales"]
+        assert len(dimensions) == 9
+
+    def test_store_sales_foreign_keys_reference_dimensions(self):
+        schema = table_schema("store_sales")
+        referenced = {fk.references_table for fk in schema.foreign_keys}
+        assert {"date_dim", "item", "customer_demographics", "store", "promotion"} <= referenced
+
+    def test_every_foreign_key_references_an_existing_column(self):
+        for table in TPCDS_TABLES.values():
+            for foreign_key in table.foreign_keys:
+                target = table_schema(foreign_key.references_table)
+                assert foreign_key.references_column in target.column_names
+                assert foreign_key.column in table.column_names
+
+    def test_primary_key_is_a_column(self):
+        for table in TPCDS_TABLES.values():
+            assert table.primary_key in table.column_names
+
+    def test_column_lookup(self):
+        assert table_schema("item").column("i_current_price").type == "decimal"
+        with pytest.raises(KeyError):
+            table_schema("item").column("nonexistent")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            table_schema("no_such_table")
+
+    def test_inventory_is_narrow(self):
+        """Inventory has only 4 columns, as in TPC-DS."""
+        assert len(table_schema("inventory").columns) == 4
+
+
+class TestPaperRowCounts:
+    def test_table_36_row_counts_for_1gb(self):
+        counts = paper_row_counts(1)
+        assert counts["store_sales"] == 2_880_404
+        assert counts["inventory"] == 11_745_000
+        assert counts["store"] == 12
+
+    def test_table_36_row_counts_for_5gb(self):
+        counts = paper_row_counts(5)
+        assert counts["store_sales"] == 14_400_052
+        assert counts["customer"] == 277_000
+
+    def test_only_published_scales_accepted(self):
+        with pytest.raises(ValueError):
+            paper_row_counts(10)
+
+    def test_non_scaling_tables_match_between_scales(self):
+        """Observation (i) of Section 4.3 rests on these tables being equal."""
+        for name in NON_SCALING_TABLES:
+            small, large = PAPER_ROW_COUNTS[name]
+            assert small == large
+        assert "customer_demographics" in NON_SCALING_TABLES
+        assert "date_dim" in NON_SCALING_TABLES
+
+    def test_every_table_has_paper_counts(self):
+        assert set(PAPER_ROW_COUNTS) == set(TPCDS_TABLES)
+
+
+class TestGenerationScaling:
+    def test_large_profile_scales_fact_tables_roughly_5x(self):
+        small = generation_row_counts(SCALE_SMALL)
+        large = generation_row_counts(SCALE_LARGE)
+        ratio = large["store_sales"] / small["store_sales"]
+        assert 4.5 <= ratio <= 5.5
+
+    def test_non_scaling_tables_identical_across_profiles(self):
+        small = generation_row_counts(SCALE_SMALL)
+        large = generation_row_counts(SCALE_LARGE)
+        for name in NON_SCALING_TABLES:
+            assert small[name] == large[name]
+
+    def test_small_reference_tables_keep_exact_paper_cardinality(self):
+        small = generation_row_counts(SCALE_SMALL)
+        large = generation_row_counts(SCALE_LARGE)
+        assert small["store"] == 12 and large["store"] == 52
+        assert small["warehouse"] == 5 and large["warehouse"] == 7
+        assert small["promotion"] == 300 and large["promotion"] == 388
+
+    def test_date_dim_covers_query_year_range(self):
+        counts = generation_row_counts(SCALE_SMALL)
+        assert counts["date_dim"] == (2191)  # 1998-01-01 .. 2003-12-31
+
+    def test_generation_counts_never_exceed_paper_counts(self):
+        for profile in (SCALE_SMALL, SCALE_LARGE):
+            generated = generation_row_counts(profile)
+            paper = paper_row_counts(profile.paper_gb)
+            for name, count in generated.items():
+                assert count <= paper[name]
+
+    def test_custom_reduction_profile(self):
+        tiny = ScaleProfile(name="tiny", paper_gb=1, reduction=1.0 / 100_000.0)
+        counts = generation_row_counts(tiny)
+        assert counts["store_sales"] == 50  # clamped to the minimum
+        assert counts["date_dim"] == 2191  # date dimension never shrinks
+
+    def test_profile_database_names_match_thesis(self):
+        assert SCALE_SMALL.database_name == "Dataset_1GB"
+        assert SCALE_LARGE.database_name == "Dataset_5GB"
