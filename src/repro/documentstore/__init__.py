@@ -15,7 +15,14 @@ The sharded deployment environment lives in :mod:`repro.sharding` and builds
 on the same collection engine.
 """
 
-from .aggregation import run_pipeline, split_pipeline_for_shards
+from .aggregation import (
+    CompiledPipeline,
+    StageStats,
+    compile_pipeline,
+    optimize_pipeline,
+    run_pipeline,
+    split_pipeline_for_shards,
+)
 from .bson import (
     MAX_DOCUMENT_SIZE,
     decode_document,
@@ -43,9 +50,18 @@ from .errors import (
     ShardingError,
     ShardKeyError,
 )
+from .expressions import compile_expression, evaluate_expression
 from .indexes import ASCENDING, DESCENDING, HASHED, Index, IndexSpec, hashed_value
-from .matching import compare_values, matches, resolve_path, resolve_path_single
+from .matching import (
+    compare_values,
+    compile_matcher,
+    matches,
+    matches_document,
+    resolve_path,
+    resolve_path_single,
+)
 from .objectid import ObjectId
+from .ordering import document_sort_key, sort_key
 from .planner import QueryPlan, plan_query
 from .storage import dump_collection, dump_database, load_collection, load_database
 
@@ -80,21 +96,31 @@ __all__ = [
     "QueryPlan",
     "ShardKeyError",
     "ShardingError",
+    "CompiledPipeline",
+    "StageStats",
     "UpdateResult",
     "compare_values",
+    "compile_expression",
+    "compile_matcher",
+    "compile_pipeline",
     "decode_document",
     "document_size",
+    "document_sort_key",
     "dump_collection",
     "dump_database",
     "encode_document",
+    "evaluate_expression",
     "hashed_value",
     "load_collection",
     "load_database",
     "matches",
+    "matches_document",
+    "optimize_pipeline",
     "plan_query",
     "resolve_path",
     "resolve_path_single",
     "run_pipeline",
+    "sort_key",
     "split_pipeline_for_shards",
     "validate_document",
 ]

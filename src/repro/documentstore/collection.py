@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
-from .aggregation import run_pipeline
+from .aggregation import StageStats, optimize_pipeline, run_pipeline
 from .bson import (
     deep_copy_document,
     document_size,
@@ -39,7 +39,7 @@ from .errors import (
     OperationFailure,
 )
 from .indexes import ASCENDING, Index, IndexSpec
-from .matching import compile_filter, resolve_path, values_equal
+from .matching import compile_matcher, resolve_path, values_equal
 from .objectid import ObjectId
 from .planner import QueryPlan, plan_query
 from .update import apply_update, build_upsert_document, is_update_document
@@ -215,7 +215,7 @@ class Collection:
         return plan, list(self._documents.keys())
 
     def _find_documents(self, query: Mapping[str, Any] | None) -> list[dict[str, Any]]:
-        predicate = compile_filter(query)
+        predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         matched = []
         scanned = 0
@@ -307,7 +307,7 @@ class Collection:
         upsert: bool,
         multi: bool,
     ) -> UpdateResult:
-        predicate = compile_filter(query)
+        predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         touched_paths = self._paths_touched_by_update(update)
         if touched_paths is None:
@@ -395,7 +395,7 @@ class Collection:
     # --------------------------------------------------------------- deletes
 
     def _delete(self, query: Mapping[str, Any] | None, *, multi: bool) -> DeleteResult:
-        predicate = compile_filter(query)
+        predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         deleted = 0
         for doc_id in list(candidate_ids):
@@ -428,8 +428,10 @@ class Collection:
 
     # ----------------------------------------------------------- aggregation
 
-    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
-        """Run an aggregation pipeline over the collection."""
+    def _pipeline_environment(
+        self,
+    ) -> tuple[Any, Any]:
+        """Return the ``$lookup`` resolver / ``$out`` writer for this collection."""
         collection_resolver = None
         output_writer = None
         if self._database is not None:
@@ -443,10 +445,17 @@ class Collection:
                 target.drop()
                 target.insert_many(documents)
 
-        # A leading $match can be served from an index, exactly like find():
-        # the planner narrows the candidate documents and the pipeline's own
-        # $match still re-filters them, so the result is unchanged.
-        source: Iterable[Mapping[str, Any]]
+        return collection_resolver, output_writer
+
+    def _aggregate_plan_and_source(
+        self, pipeline: Sequence[Mapping[str, Any]]
+    ) -> tuple[QueryPlan, Iterable[Mapping[str, Any]]]:
+        """Choose the access path for a pipeline's leading ``$match``.
+
+        A leading $match can be served from an index, exactly like find():
+        the planner narrows the candidate documents and the pipeline's own
+        $match still re-filters them, so the result is unchanged.
+        """
         if pipeline and isinstance(pipeline[0], Mapping) and "$match" in pipeline[0]:
             plan = plan_query(pipeline[0]["$match"], self._indexes, len(self._documents))
             if plan.stage == "IXSCAN" and plan.candidate_ids is not None:
@@ -455,20 +464,68 @@ class Collection:
                     for doc_id in plan.candidate_ids
                     if doc_id in self._documents
                 )
-            else:
-                source = self.raw_documents()
-        else:
-            source = self.raw_documents()
+                return plan, source
+            return plan, self.raw_documents()
+        plan = QueryPlan(stage="COLLSCAN", documents_examined=len(self._documents))
+        return plan, self.raw_documents()
+
+    def aggregate(
+        self,
+        pipeline: Sequence[Mapping[str, Any]],
+        *,
+        counters: list[StageStats] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline over the collection.
+
+        The pipeline is optimized once (match merging / pushdown, top-k
+        fusion happens at compile time) so the planner sees the effective
+        leading ``$match`` even when the caller wrote it after a ``$sort``.
+        When *counters* is a list it receives per-stage
+        :class:`~repro.documentstore.aggregation.StageStats`.
+        """
+        optimized = optimize_pipeline(pipeline)
+        _plan, source = self._aggregate_plan_and_source(optimized)
+        collection_resolver, output_writer = self._pipeline_environment()
 
         # The pipeline never mutates its input documents (stages copy before
         # modifying), so aggregation reads the stored documents directly
         # instead of paying a defensive deep copy per document.
         return run_pipeline(
             source,
-            pipeline,
+            optimized,
             collection_resolver=collection_resolver,
             output_writer=output_writer,
+            counters=counters,
+            optimize=False,
+            fuse=True,
         )
+
+    def explain_aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """Execute *pipeline* and report the plan plus per-stage counters.
+
+        Mirrors ``explain("executionStats")``: the winning plan describes the
+        access path of the leading ``$match`` (IXSCAN vs COLLSCAN) and every
+        executed stage reports documents examined / returned.  A trailing
+        ``$out`` is *not* written during explain.
+        """
+        optimized = optimize_pipeline(pipeline)
+        plan, source = self._aggregate_plan_and_source(optimized)
+        collection_resolver, _output_writer = self._pipeline_environment()
+        counters: list[StageStats] = []
+        run_pipeline(
+            source,
+            optimized,
+            collection_resolver=collection_resolver,
+            output_writer=lambda _name, _documents: None,
+            counters=counters,
+            optimize=False,
+            fuse=True,
+        )
+        plan = plan.with_pipeline_stages([stats.as_dict() for stats in counters])
+        return {
+            "queryPlanner": {"winningPlan": plan.describe()},
+            "executionStats": {"stages": [stats.as_dict() for stats in counters]},
+        }
 
     # ------------------------------------------------------------- iteration
 

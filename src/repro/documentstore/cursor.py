@@ -11,7 +11,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import OperationFailure
-from .matching import compare_values, resolve_path_single
+from .matching import resolve_path_single
+from .ordering import document_sort_key
 
 __all__ = [
     "Cursor",
@@ -28,27 +29,13 @@ def sort_documents(
     documents: list[dict[str, Any]],
     sort_specification: Sequence[tuple[str, int]] | Mapping[str, int],
 ) -> list[dict[str, Any]]:
-    """Return *documents* sorted by the given ``(field, direction)`` pairs."""
-    if isinstance(sort_specification, Mapping):
-        pairs = list(sort_specification.items())
-    else:
-        pairs = list(sort_specification)
-    ordered = list(documents)
-    # Sort by the least-significant key first so the sort is stable overall.
-    for field_path, direction in reversed(pairs):
-        if direction not in (1, -1):
-            raise OperationFailure(f"sort direction must be 1 or -1, got {direction!r}")
-        import functools
+    """Return *documents* sorted by the given ``(field, direction)`` pairs.
 
-        ordered.sort(
-            key=functools.cmp_to_key(
-                lambda left, right, path=field_path: compare_values(
-                    resolve_path_single(left, path), resolve_path_single(right, path)
-                )
-            ),
-            reverse=direction == -1,
-        )
-    return ordered
+    One stable pass over a composite key (shared with ``$sort`` and the
+    top-k fast path via :mod:`repro.documentstore.ordering`) replaces the
+    previous one-``cmp_to_key``-pass-per-field implementation.
+    """
+    return sorted(documents, key=document_sort_key(sort_specification))
 
 
 def project_document(

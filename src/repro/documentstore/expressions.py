@@ -20,9 +20,14 @@ import math
 from typing import Any, Callable, Mapping, Sequence
 
 from .errors import InvalidOperator, OperationFailure
-from .matching import compare_values, resolve_path_single, values_equal
+from .matching import compare_values, compile_path, resolve_path_single, values_equal
 
-__all__ = ["evaluate_expression", "is_field_path", "field_path_of"]
+__all__ = [
+    "evaluate_expression",
+    "compile_expression",
+    "is_field_path",
+    "field_path_of",
+]
 
 
 def is_field_path(expression: Any) -> bool:
@@ -301,42 +306,13 @@ def _evaluate_operator(operator: str, argument: Any, document: Mapping[str, Any]
         return any(values_equal(needle, item) for item in haystack)
 
     if operator in ("$min", "$max"):
-        evaluated = _evaluate_many(argument, document)
-        # A single array operand means "min/max of the array elements".
-        if len(evaluated) == 1 and isinstance(evaluated[0], (list, tuple)):
-            evaluated = list(evaluated[0])
-        values = [v for v in evaluated if v is not None]
-        if not values:
-            return None
-        picked = values[0]
-        for value in values[1:]:
-            ordering = compare_values(value, picked)
-            if (operator == "$min" and ordering < 0) or (operator == "$max" and ordering > 0):
-                picked = value
-        return picked
+        return _combine_min_max(operator, _evaluate_many(argument, document))
 
     if operator == "$sum":
-        values = _evaluate_many(argument, document)
-        total: float | int = 0
-        for value in values:
-            flattened = value if isinstance(value, (list, tuple)) else [value]
-            for item in flattened:
-                if isinstance(item, (int, float)) and not isinstance(item, bool):
-                    total += item
-        return total
+        return _combine_sum(_evaluate_many(argument, document))
 
     if operator == "$avg":
-        values = _evaluate_many(argument, document)
-        numbers: list[float] = []
-        for value in values:
-            flattened = value if isinstance(value, (list, tuple)) else [value]
-            numbers.extend(
-                item for item in flattened
-                if isinstance(item, (int, float)) and not isinstance(item, bool)
-            )
-        if not numbers:
-            return None
-        return sum(numbers) / len(numbers)
+        return _combine_avg(_evaluate_many(argument, document))
 
     if operator == "$size":
         value = evaluate_expression(argument, document)
@@ -424,6 +400,47 @@ def _evaluate_operator(operator: str, argument: Any, document: Mapping[str, Any]
     raise InvalidOperator(f"unknown expression operator {operator!r}")
 
 
+def _combine_min_max(operator: str, evaluated: list[Any]) -> Any:
+    """Shared ``$min``/``$max`` combination over already-evaluated operands."""
+    # A single array operand means "min/max of the array elements".
+    if len(evaluated) == 1 and isinstance(evaluated[0], (list, tuple)):
+        evaluated = list(evaluated[0])
+    values = [v for v in evaluated if v is not None]
+    if not values:
+        return None
+    picked = values[0]
+    for value in values[1:]:
+        ordering = compare_values(value, picked)
+        if (operator == "$min" and ordering < 0) or (operator == "$max" and ordering > 0):
+            picked = value
+    return picked
+
+
+def _combine_sum(values: list[Any]) -> float | int:
+    """Shared ``$sum`` combination over already-evaluated operands."""
+    total: float | int = 0
+    for value in values:
+        flattened = value if isinstance(value, (list, tuple)) else [value]
+        for item in flattened:
+            if isinstance(item, (int, float)) and not isinstance(item, bool):
+                total += item
+    return total
+
+
+def _combine_avg(values: list[Any]) -> Any:
+    """Shared ``$avg`` combination over already-evaluated operands."""
+    numbers: list[float] = []
+    for value in values:
+        flattened = value if isinstance(value, (list, tuple)) else [value]
+        numbers.extend(
+            item for item in flattened
+            if isinstance(item, (int, float)) and not isinstance(item, bool)
+        )
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
 def _bind_variable(expression: Any, variable: str) -> Any:
     """Rewrite ``$$variable`` references so they resolve inside the scope."""
     if isinstance(expression, str):
@@ -438,3 +455,211 @@ def _bind_variable(expression: Any, variable: str) -> Any:
     if isinstance(expression, (list, tuple)):
         return [_bind_variable(item, variable) for item in expression]
     return expression
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+#: Operators whose compiled form falls back to the interpreter per document
+#: (they carry variable bindings or rarely sit on hot paths).  Compilation
+#: still validates them up front so unknown operators fail once per query.
+_FALLBACK_OPERATORS = frozenset(
+    {
+        "$switch",
+        "$filter",
+        "$map",
+        "$size",
+        "$arrayElemAt",
+        "$concatArrays",
+        "$year",
+        "$month",
+        "$dayOfMonth",
+        "$dayOfWeek",
+        "$toString",
+        "$toInt",
+        "$toLong",
+        "$toDouble",
+        "$toDecimal",
+    }
+)
+
+
+def _compile_field_reference(path: str) -> Callable[[Mapping[str, Any]], Any]:
+    resolver = compile_path(path)
+
+    def resolve(document: Mapping[str, Any]) -> Any:
+        values = resolver(document)
+        return values[0] if values else None
+
+    return resolve
+
+
+def _compile_many(argument: Any) -> Callable[[Mapping[str, Any]], list[Any]]:
+    """Compile the (single-or-list) operand form accepted by most operators."""
+    if isinstance(argument, (list, tuple)):
+        evaluators = [compile_expression(item) for item in argument]
+    else:
+        evaluators = [compile_expression(argument)]
+
+    def evaluate(document: Mapping[str, Any]) -> list[Any]:
+        return [evaluator(document) for evaluator in evaluators]
+
+    return evaluate
+
+
+def compile_expression(expression: Any) -> Callable[[Mapping[str, Any]], Any]:
+    """Validate and lower an aggregation expression into a closure.
+
+    The expression tree is interpreted exactly once: field paths are
+    pre-split, operator names are validated, and operand sub-expressions are
+    compiled recursively.  ``compile_expression(e)(doc)`` agrees with
+    ``evaluate_expression(e, doc)`` for every supported expression; pipeline
+    stages and ``$expr`` compile once per query instead of re-walking the
+    expression ``Mapping`` per document.
+    """
+    if isinstance(expression, str):
+        if expression.startswith("$$"):
+            variable = expression[2:].split(".", 1)
+            if variable[0] in ("ROOT", "CURRENT"):
+                if len(variable) == 1:
+                    return lambda document: document
+                return _compile_field_reference(variable[1])
+            raise InvalidOperator(f"unknown aggregation variable {expression!r}")
+        if expression.startswith("$"):
+            return _compile_field_reference(field_path_of(expression))
+        return lambda _document, constant=expression: constant
+    if expression is None or isinstance(
+        expression, (bool, int, float, bytes, _dt.date, _dt.datetime)
+    ):
+        return lambda _document, constant=expression: constant
+    if isinstance(expression, (list, tuple)):
+        items = [compile_expression(item) for item in expression]
+        return lambda document: [item(document) for item in items]
+    if isinstance(expression, Mapping):
+        operator_keys = [key for key in expression if key.startswith("$")]
+        if operator_keys:
+            if len(expression) != 1:
+                raise InvalidOperator(
+                    "an expression document may hold exactly one operator, "
+                    f"got {sorted(expression)}"
+                )
+            return _compile_operator(operator_keys[0], expression[operator_keys[0]])
+        fields = {key: compile_expression(value) for key, value in expression.items()}
+        return lambda document: {
+            key: evaluator(document) for key, evaluator in fields.items()
+        }
+    # ObjectId and other scalar leaf values evaluate to themselves.
+    return lambda _document, constant=expression: constant
+
+
+def _compile_operator(operator: str, argument: Any) -> Callable[[Mapping[str, Any]], Any]:
+    if operator == "$literal":
+        return lambda _document: argument
+
+    if operator == "$cond":
+        if isinstance(argument, Mapping):
+            condition = compile_expression(argument.get("if"))
+            then_branch = compile_expression(argument.get("then"))
+            else_branch = compile_expression(argument.get("else"))
+        else:
+            if len(argument) != 3:
+                raise OperationFailure("$cond array form requires [if, then, else]")
+            condition = compile_expression(argument[0])
+            then_branch = compile_expression(argument[1])
+            else_branch = compile_expression(argument[2])
+
+        def cond(document: Mapping[str, Any]) -> Any:
+            if condition(document):
+                return then_branch(document)
+            return else_branch(document)
+
+        return cond
+
+    if operator == "$ifNull":
+        candidates = [compile_expression(item) for item in argument[:-1]]
+        default = compile_expression(argument[-1])
+
+        def if_null(document: Mapping[str, Any]) -> Any:
+            for candidate in candidates:
+                value = candidate(document)
+                if value is not None:
+                    return value
+            return default(document)
+
+        return if_null
+
+    if operator in ("$and", "$or", "$not"):
+        many = _compile_many(argument)
+        if operator == "$and":
+            return lambda document: all(bool(value) for value in many(document))
+        if operator == "$or":
+            return lambda document: any(bool(value) for value in many(document))
+        return lambda document: not bool(many(document)[0])
+
+    if operator in ("$eq", "$ne"):
+        many = _compile_many(argument)
+        if operator == "$eq":
+            def eq(document: Mapping[str, Any]) -> bool:
+                left, right = many(document)
+                return values_equal(left, right)
+
+            return eq
+
+        def ne(document: Mapping[str, Any]) -> bool:
+            left, right = many(document)
+            return not values_equal(left, right)
+
+        return ne
+
+    if operator in _COMPARISONS:
+        many = _compile_many(argument)
+        check = _COMPARISONS[operator]
+
+        def compare(document: Mapping[str, Any]) -> bool:
+            left, right = many(document)
+            return check(compare_values(left, right))
+
+        return compare
+
+    if operator == "$cmp":
+        many = _compile_many(argument)
+
+        def cmp(document: Mapping[str, Any]) -> int:
+            left, right = many(document)
+            return compare_values(left, right)
+
+        return cmp
+
+    if operator == "$in":
+        many = _compile_many(argument)
+
+        def in_array(document: Mapping[str, Any]) -> bool:
+            needle, haystack = many(document)
+            if not isinstance(haystack, (list, tuple)):
+                raise OperationFailure("$in expression requires an array operand")
+            return any(values_equal(needle, item) for item in haystack)
+
+        return in_array
+
+    if operator in ("$min", "$max"):
+        many = _compile_many(argument)
+        return lambda document, op=operator: _combine_min_max(op, many(document))
+
+    if operator == "$sum":
+        many = _compile_many(argument)
+        return lambda document: _combine_sum(many(document))
+
+    if operator == "$avg":
+        many = _compile_many(argument)
+        return lambda document: _combine_avg(many(document))
+
+    if operator in _SIMPLE_OPERATORS:
+        many = _compile_many(argument)
+        apply_operator = _SIMPLE_OPERATORS[operator]
+        return lambda document: apply_operator(many(document))
+
+    if operator in _FALLBACK_OPERATORS:
+        return lambda document: _evaluate_operator(operator, argument, document)
+
+    raise InvalidOperator(f"unknown expression operator {operator!r}")

@@ -15,7 +15,6 @@ assumes in Section 4.1.3.1.1.
 from __future__ import annotations
 
 import bisect
-import functools
 import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
@@ -23,6 +22,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from .bson import encode_document
 from .errors import DuplicateKeyError, OperationFailure
 from .matching import compare_values, resolve_path
+from .ordering import OrderedValue
 
 __all__ = ["IndexSpec", "Index", "hashed_value", "ASCENDING", "DESCENDING", "HASHED"]
 
@@ -59,25 +59,9 @@ def hashed_value(value: Any) -> int:
     return int.from_bytes(digest[:8], "big", signed=False)
 
 
-@functools.total_ordering
-class _OrderedKey:
-    """Wrapper giving arbitrary BSON-ish values a total order for bisect."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, _OrderedKey):
-            return NotImplemented
-        return compare_values(self.value, other.value) == 0
-
-    def __lt__(self, other: "_OrderedKey") -> bool:
-        return compare_values(self.value, other.value) < 0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"_OrderedKey({self.value!r})"
+# The index key arrays reuse the shared total-order wrapper so bisect, sort,
+# and the aggregation layer agree on one value ordering.
+_OrderedKey = OrderedValue
 
 
 def _ordered_tuple(values: Sequence[Any]) -> tuple[_OrderedKey, ...]:

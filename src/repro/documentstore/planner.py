@@ -21,13 +21,20 @@ __all__ = ["QueryPlan", "plan_query"]
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The access path chosen for a query."""
+    """The access path chosen for a query.
+
+    For aggregation explains the plan additionally carries the per-stage
+    execution counters of the streaming pipeline executor
+    (``pipeline_stages``: one ``{stage, docsExamined, docsReturned}`` entry
+    per executed stage, in optimized execution order).
+    """
 
     stage: str  # "COLLSCAN" or "IXSCAN"
     index_name: str | None = None
     index_fields: tuple[str, ...] = ()
     candidate_ids: tuple[int, ...] | None = None
     documents_examined: int = 0
+    pipeline_stages: tuple[Mapping[str, Any], ...] = ()
 
     def describe(self) -> dict[str, Any]:
         """Return an ``explain()``-style description of the plan."""
@@ -36,7 +43,22 @@ class QueryPlan:
             description["indexName"] = self.index_name
             description["keyPattern"] = list(self.index_fields)
             description["keysExamined"] = self.documents_examined
+        if self.pipeline_stages:
+            description["pipelineStages"] = [dict(entry) for entry in self.pipeline_stages]
         return description
+
+    def with_pipeline_stages(
+        self, stages: Sequence[Mapping[str, Any]]
+    ) -> "QueryPlan":
+        """Return a copy of the plan carrying pipeline stage counters."""
+        return QueryPlan(
+            stage=self.stage,
+            index_name=self.index_name,
+            index_fields=self.index_fields,
+            candidate_ids=self.candidate_ids,
+            documents_examined=self.documents_examined,
+            pipeline_stages=tuple(dict(entry) for entry in stages),
+        )
 
 
 @dataclass

@@ -13,7 +13,7 @@ from typing import Any, Mapping, MutableMapping
 
 from .bson import deep_copy_document
 from .errors import InvalidUpdateError
-from .matching import compare_values, values_equal, matches
+from .matching import compare_values, compile_matcher, values_equal
 
 __all__ = [
     "is_update_document",
@@ -221,12 +221,14 @@ def _apply_single(document: MutableMapping[str, Any], operator: str, path: str, 
         if not isinstance(current, list):
             raise InvalidUpdateError(f"$pull target {path!r} is not an array")
         if isinstance(argument, Mapping) and any(k.startswith("$") for k in argument):
-            remaining = [item for item in current if not matches({"v": item}, {"v": argument})]
+            predicate = compile_matcher({"v": argument})
+            remaining = [item for item in current if not predicate({"v": item})]
         elif isinstance(argument, Mapping):
+            predicate = compile_matcher(argument)
             remaining = [
                 item
                 for item in current
-                if not (isinstance(item, Mapping) and matches(item, argument))
+                if not (isinstance(item, Mapping) and predicate(item))
             ]
         else:
             remaining = [item for item in current if not values_equal(item, argument)]

@@ -631,8 +631,11 @@ class QueryRouter:
         targets, targeted = self._target_shards(database_name, collection_name, leading_match)
 
         def do_aggregate(shard: Shard) -> list[dict[str, Any]]:
+            # Reuse the collection engine's entry point so shard-local
+            # execution gets the same leading-$match IXSCAN pushdown (and
+            # $lookup collection resolution) as a stand-alone deployment.
             collection = shard.collection(database_name, collection_name)
-            return run_pipeline(collection.raw_documents(), shard_stages)
+            return collection.aggregate(shard_stages)
 
         per_shard = self._scatter(
             database_name,
@@ -653,7 +656,20 @@ class QueryRouter:
         if merge_stages and "$out" in merge_stages[-1]:
             out_target = str(merge_stages[-1]["$out"])
             merge_stages = merge_stages[:-1]
-        results = run_pipeline(merged, merge_stages) if merge_stages else merged
+        if merge_stages:
+            # $lookup in the merge part joins against the cluster-wide
+            # collection, exactly as a stand-alone database would resolve it.
+            # The nested find accounts its own router work, so exclude it
+            # from this operation's window to avoid double counting.
+            router_seconds_before = self.metrics.router_seconds
+            results = run_pipeline(
+                merged,
+                merge_stages,
+                collection_resolver=lambda name: self.find(database_name, name),
+            )
+            started += self.metrics.router_seconds - router_seconds_before
+        else:
+            results = merged
         self._account_router_work(started)
 
         if out_target is not None:
@@ -662,6 +678,39 @@ class QueryRouter:
                 self.insert_many(database_name, out_target, results)
             return []
         return results
+
+    def explain_aggregate(
+        self,
+        database_name: str,
+        collection_name: str,
+        pipeline: Sequence[Mapping[str, Any]],
+    ) -> dict[str, Any]:
+        """Explain a routed aggregation without network/metric accounting.
+
+        Returns the routing decision (targeted vs broadcast, the shards
+        contacted) plus each shard's local plan — including the IXSCAN /
+        COLLSCAN choice for the leading ``$match`` and per-stage documents
+        examined / returned counters — and the merge stages the router would
+        run over the combined results.
+        """
+        pipeline = list(pipeline)
+        shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
+        leading_match = None
+        if shard_stages and "$match" in shard_stages[0]:
+            leading_match = shard_stages[0]["$match"]
+        targets, targeted = self._target_shards(database_name, collection_name, leading_match)
+        shards = {
+            shard_id: self._shards[shard_id]
+            .collection(database_name, collection_name)
+            .explain_aggregate(shard_stages)
+            for shard_id in targets
+        }
+        return {
+            "targeted": targeted,
+            "shardsContacted": list(targets),
+            "shards": shards,
+            "mergeStages": [next(iter(stage)) for stage in merge_stages],
+        }
 
     # --------------------------------------------------------------------- stats
 
@@ -810,6 +859,10 @@ class RoutedCollection:
 
     def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
         return self._router.aggregate(self._database_name, self.name, pipeline)
+
+    def explain_aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """Explain how the cluster would execute *pipeline* (per-shard plans)."""
+        return self._router.explain_aggregate(self._database_name, self.name, pipeline)
 
     def create_index(self, keys: Any, *, unique: bool = False, name: str = "") -> str:
         return self._router.create_index(self._database_name, self.name, keys, unique=unique, name=name)
