@@ -1,0 +1,111 @@
+"""Measure the cost of sorted/limited finds on the sharded cluster.
+
+Run directly (``PYTHONPATH=src python benchmarks/find_pushdown_bench.py``) to
+print wall time plus the router's network accounting for three read shapes:
+
+* a broadcast ``find`` with ``sort + limit`` (top-k over every shard);
+* a paginated ``find`` (``sort + skip + limit``) with a projection;
+* ``find_one`` on a non-shard-key filter (broadcast, single result).
+
+The output of this script before and after the FindSpec/Cursor pushdown
+redesign is recorded in ``benchmarks/results/find_pushdown_before_after.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.sharding.cluster import ShardedCluster
+
+DOCS = 30_000
+SHARDS = 3
+
+
+def build_cluster() -> ShardedCluster:
+    random.seed(1234)
+    cluster = ShardedCluster(shard_count=SHARDS)
+    cluster.enable_sharding("bench")
+    cluster.shard_collection("bench", "orders", {"order_id": "hashed"})
+    orders = cluster.get_database("bench")["orders"]
+    orders.insert_many(
+        {
+            "order_id": i,
+            "store": i % 97,
+            "amount": round(random.uniform(1.0, 500.0), 2),
+            "day": i % 365,
+            "note": "x" * 64,
+        }
+        for i in range(DOCS)
+    )
+    cluster.balance()
+    cluster.reset_metrics()
+    return cluster
+
+
+def run_case(cluster: ShardedCluster, label: str, operation) -> dict:
+    cluster.reset_metrics()
+    started = time.perf_counter()
+    result = operation()
+    wall = time.perf_counter() - started
+    stats = cluster.network.stats.snapshot()
+    response_messages = stats["by_purpose"].get("find:response", 0)
+    report = {
+        "label": label,
+        "wall_seconds": wall,
+        "results": len(result) if isinstance(result, list) else 1,
+        "bytes_transferred": stats["bytes_transferred"],
+        "messages": stats["messages"],
+        "find_response_messages": response_messages,
+    }
+    snapshot = cluster.router.metrics.snapshot()
+    for key in ("documents_shipped", "bytes_shipped"):
+        if key in snapshot:
+            report[key] = snapshot[key]
+    return report
+
+
+def main() -> None:
+    cluster = build_cluster()
+    orders = cluster.get_database("bench")["orders"]
+
+    cases = [
+        (
+            "sort+limit top-10 (broadcast)",
+            lambda: orders.find({}).sort("amount", -1).limit(10).to_list(),
+        ),
+        (
+            "page 50..60, projection (broadcast)",
+            lambda: orders.find({"day": {"$lt": 180}}, {"amount": 1, "day": 1})
+            .sort([("day", 1), ("amount", -1)])
+            .skip(50)
+            .limit(10)
+            .to_list(),
+        ),
+        (
+            "find_one non-shard-key filter",
+            lambda: orders.find_one({"store": 13}),
+        ),
+    ]
+
+    print(f"documents={DOCS} shards={SHARDS}")
+    for label, operation in cases:
+        best = None
+        for _ in range(3):
+            report = run_case(cluster, label, operation)
+            if best is None or report["wall_seconds"] < best["wall_seconds"]:
+                best = report
+        print(
+            f"{best['label']:<40} wall={best['wall_seconds'] * 1000:9.2f} ms  "
+            f"bytes={best['bytes_transferred']:>12,}  "
+            f"messages={best['messages']:>5}  "
+            + "  ".join(
+                f"{key}={best[key]:,}"
+                for key in ("documents_shipped", "bytes_shipped")
+                if key in best
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,31 @@ def main() -> None:
     print("\nA normalized store_sales document (foreign keys are scalars):")
     print({k: sale[k] for k in ("ss_item_sk", "ss_store_sk", "ss_quantity", "ss_sales_price")})
 
+    # -------------------------------------------------- the lazy read protocol
+    # find() returns a lazy cursor: chained options only refine its FindSpec,
+    # and the complete spec reaches the executor when iteration starts — so
+    # the engine can pick a bounded top-k (or an index-order scan) instead of
+    # sorting everything and slicing afterwards.
+    sales = database["store_sales"]
+    cursor = (
+        sales.find({"ss_quantity": {"$gte": 50}}, {"ss_sales_price": 1, "ss_quantity": 1})
+        .sort("ss_sales_price", -1)
+        .limit(3)
+    )
+    plan = cursor.explain()["queryPlanner"]
+    print("\nTop-3 sales by price (one FindSpec, executed lazily):")
+    print(f"  access path: {plan['winningPlan']['stage']}, sort mode: {plan['sortMode']}")
+    for row in cursor:
+        print(" ", row)
+    sales.create_index("ss_sales_price")
+    plan = (
+        sales.find({}).sort("ss_sales_price", -1).limit(3).explain()["queryPlanner"]
+    )
+    print(
+        "  after create_index('ss_sales_price'): "
+        f"sort mode {plan['sortMode']} ({plan['winningPlan'].get('direction')} index scan)"
+    )
+
     # ----------------------------------------------------- denormalized model
     print("\nDenormalizing store_sales (EmbedDocuments, Figures 4.6/4.7)...")
     denormalization = denormalize_store_sales(database)

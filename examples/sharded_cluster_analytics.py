@@ -105,6 +105,46 @@ def main() -> None:
         )
     )
 
+    # ------------------------------------------- shard-side pushdown (FindSpec)
+    # A sorted + limited find pushes projection, sort, and skip+limit to every
+    # shard: each returns at most skip+limit pre-sorted documents, and the
+    # router k-way-merges the shard-sorted lists.  RouterMetrics shows how few
+    # documents cross the simulated network.
+    cluster.reset_metrics()
+    top_sales = (
+        routed["store_sales"]
+        .find({}, {"ss_sales_price": 1, "ss_ticket_number": 1})
+        .sort([("ss_sales_price", -1), ("ss_ticket_number", 1)])
+        .limit(5)
+    )
+    explain = top_sales.explain()["queryPlanner"]
+    rows = top_sales.to_list()
+    pushdown_metrics = cluster.router.metrics.snapshot()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["plan", explain["winningPlan"]["stage"]],
+                ["merge", explain["sortMode"]],
+                ["per-shard limit pushed", explain["winningPlan"]["pushdown"]["limit"]],
+                ["projection pushed", explain["winningPlan"]["pushdown"]["projection"]],
+                ["documents shipped", pushdown_metrics["documents_shipped"]],
+                ["bytes shipped", pushdown_metrics["bytes_shipped"]],
+                ["result rows", len(rows)],
+            ],
+            title="Sorted+limited broadcast find with shard-side pushdown",
+        )
+    )
+    shard_plan = next(iter(explain["winningPlan"]["shards"].values()))
+    print(
+        "per-shard plan:",
+        shard_plan["winningPlan"]["stage"],
+        "/ sort mode",
+        shard_plan["sortMode"],
+        "/ shard-local limit",
+        shard_plan["findSpec"]["limit"],
+    )
+
     # ------------------------------------------------------------- Query 50
     print("\nRunning Query 50 (return-latency buckets) through the router...")
     cluster.reset_metrics()

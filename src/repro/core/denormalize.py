@@ -93,10 +93,9 @@ def embed_documents(
     """
     started = time.perf_counter()
     documents_by_key: dict[Any, dict[str, Any]] = {}
-    cursor = dimension_collection.find(dimension_filter or {})
-    while cursor.alive:
-        document = dict(cursor.next())
-        document.pop("_id", None)
+    # The unified read protocol projects _id out shard- or engine-side, so
+    # the embedded copies never carry (or ship) the primary-key field.
+    for document in dimension_collection.find(dimension_filter or {}, {"_id": 0}):
         key = document.get(dimension_primary_key)
         if key is not None:
             documents_by_key[key] = document
@@ -127,9 +126,7 @@ def _copy_collection(database, source_name: str, target_name: str, *, batch_size
     target.drop()
     count = 0
     batch: list[dict[str, Any]] = []
-    for document in source.find({}):
-        document = dict(document)
-        document.pop("_id", None)
+    for document in source.find({}, {"_id": 0}):
         batch.append(document)
         if len(batch) >= batch_size:
             target.insert_many(batch)
@@ -264,15 +261,12 @@ def _embed_matching_returns(
     sales.create_index("ss_ticket_number")
     returns = database[returns_collection_name]
     dates = {
-        row["d_date_sk"]: {k: v for k, v in row.items() if k != "_id"}
-        for row in database["date_dim"].find({})
+        row["d_date_sk"]: row for row in database["date_dim"].find({}, {"_id": 0})
     }
 
     embedded = 0
-    return_documents = returns.find({}).to_list()
+    return_documents = returns.find({}, {"_id": 0}).to_list()
     for return_document in return_documents:
-        return_document = dict(return_document)
-        return_document.pop("_id", None)
         returned_date_sk = return_document.get("sr_returned_date_sk")
         if returned_date_sk in dates:
             return_document["sr_returned_date"] = dates[returned_date_sk]

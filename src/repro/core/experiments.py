@@ -319,10 +319,7 @@ class ExperimentHarness:
                 )
             routed = cluster.get_database(database_name)
             for collection_name in source.list_collection_names():
-                documents = [
-                    {key: value for key, value in document.items() if key != "_id"}
-                    for document in source[collection_name].find({})
-                ]
+                documents = source[collection_name].find({}, {"_id": 0}).to_list()
                 if documents:
                     routed[collection_name].insert_many(documents)
             cluster.balance()

@@ -20,7 +20,7 @@ Field-naming conventions of the denormalized documents:
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from ..tpcds.queries import query_parameters
 

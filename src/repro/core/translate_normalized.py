@@ -220,7 +220,7 @@ def _run_simple_normalized_query(
         semi_join_filter[dimension.fact_field] = {"$in": keys}
 
     fact = database[spec.fact_collection]
-    semi_joined = fact.find(semi_join_filter).to_list()
+    semi_joined = fact.find(semi_join_filter, {"_id": 0}).to_list()
     report.semi_join_documents = _copy_into_intermediate(database, semi_joined, intermediate_name)
 
     _embed_into_intermediate(database, spec, intermediate_name, report)
@@ -258,14 +258,16 @@ def _run_fact_join_query(
         report.dimension_keys[dimension.collection] = len(keys)
         secondary_filter[dimension.fact_field] = {"$in": keys}
 
-    returns = database[spec.fact_join.collection].find(secondary_filter).to_list()
+    returns = database[spec.fact_join.collection].find(
+        secondary_filter, {"_id": 0}
+    ).to_list()
 
     # Semi-join the primary fact on the first join field (ticket number); the
     # remaining join fields are checked during the client-side merge below.
     primary_field, secondary_field = spec.fact_join.join_fields[0]
     ticket_numbers = sorted({doc.get(secondary_field) for doc in returns if secondary_field in doc})
     sales = database[spec.fact_collection].find(
-        {primary_field: {"$in": ticket_numbers}}
+        {primary_field: {"$in": ticket_numbers}}, {"_id": 0}
     ).to_list()
 
     sales_by_key: dict[tuple[Any, ...], list[dict[str, Any]]] = {}

@@ -51,6 +51,7 @@ from .errors import (
     ShardKeyError,
 )
 from .expressions import compile_expression, evaluate_expression
+from .findspec import FindSpec, projection_preserves_fields
 from .indexes import ASCENDING, DESCENDING, HASHED, Index, IndexSpec, hashed_value
 from .matching import (
     compare_values,
@@ -62,7 +63,7 @@ from .matching import (
 )
 from .objectid import ObjectId
 from .ordering import document_sort_key, sort_key
-from .planner import QueryPlan, plan_query
+from .planner import QueryPlan, plan_find, plan_query
 from .storage import dump_collection, dump_database, load_collection, load_database
 
 __all__ = [
@@ -82,6 +83,7 @@ __all__ = [
     "DocumentStoreError",
     "DocumentTooLargeError",
     "DuplicateKeyError",
+    "FindSpec",
     "Index",
     "IndexNotFoundError",
     "IndexSpec",
@@ -116,7 +118,9 @@ __all__ = [
     "matches",
     "matches_document",
     "optimize_pipeline",
+    "plan_find",
     "plan_query",
+    "projection_preserves_fields",
     "resolve_path",
     "resolve_path_single",
     "run_pipeline",

@@ -13,6 +13,7 @@ the thesis algorithms rely on:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
@@ -31,17 +32,18 @@ from .cursor import (
     InsertOneResult,
     UpdateResult,
     project_document,
-    sort_documents,
 )
 from .errors import (
     DuplicateKeyError,
     IndexNotFoundError,
     OperationFailure,
 )
+from .findspec import FindSpec
 from .indexes import ASCENDING, Index, IndexSpec
 from .matching import compile_matcher, resolve_path, values_equal
 from .objectid import ObjectId
-from .planner import QueryPlan, plan_query
+from .ordering import document_sort_key
+from .planner import QueryPlan, plan_find, plan_query
 from .update import apply_update, build_upsert_document, is_update_document
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -214,7 +216,8 @@ class Collection:
             return plan, plan.candidate_ids
         return plan, list(self._documents.keys())
 
-    def _find_documents(self, query: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+    def _matched_raw(self, query: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+        """Matching *stored* documents (no copies); accounts scan counters."""
         predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         matched = []
@@ -225,26 +228,162 @@ class Collection:
                 continue
             scanned += 1
             if predicate(document):
-                matched.append(deep_copy_document(document))
+                matched.append(document)
         self.operation_counters["queries"] += 1
         self.operation_counters["documents_scanned"] += scanned
         return matched
+
+    def _find_documents(self, query: Mapping[str, Any] | None) -> list[dict[str, Any]]:
+        return [deep_copy_document(document) for document in self._matched_raw(query)]
+
+    # -- the FindSpec executor ----------------------------------------------
+
+    def _plan_find(self, spec: FindSpec) -> QueryPlan:
+        return plan_find(
+            spec.filter,
+            spec.sort,
+            self._indexes,
+            len(self._documents),
+            hint=spec.hint,
+            fetch_bound=spec.fetch_bound,
+        )
+
+    @staticmethod
+    def _emit(document: Mapping[str, Any], projection: Mapping[str, Any] | None) -> dict[str, Any]:
+        """Copy one stored document out of the engine, projected if asked."""
+        if projection:
+            return deep_copy_document(project_document(document, projection))
+        return deep_copy_document(document)
+
+    def _execute_find(self, spec: FindSpec) -> Iterator[dict[str, Any]]:
+        """Execute a complete find spec, streaming final result documents.
+
+        Three shapes, chosen by the planner:
+
+        * no sort, or a sort served by index order — stream candidates,
+          stopping as soon as ``skip + limit`` matches were produced;
+        * sort with a limit — bounded ``heapq`` top-k over the matches;
+        * sort without a limit — one full sort of the matches.
+
+        Only documents that survive skip/limit are copied (and projected)
+        out of the engine.
+        """
+        plan = self._plan_find(spec)
+        predicate = compile_matcher(spec.filter)
+        self.operation_counters["queries"] += 1
+        if plan.candidate_ids is not None:
+            candidates: Iterable[int] = plan.candidate_ids
+        else:
+            candidates = list(self._documents.keys())
+
+        if spec.sort and not plan.sort_served:
+            yield from self._execute_find_sorted(spec, candidates, predicate)
+            return
+
+        scanned = 0
+        matched = 0
+        yielded = 0
+        try:
+            for doc_id in candidates:
+                document = self._documents.get(doc_id)
+                if document is None:
+                    continue
+                scanned += 1
+                if not predicate(document):
+                    continue
+                matched += 1
+                if matched <= spec.skip:
+                    continue
+                yield self._emit(document, spec.projection)
+                yielded += 1
+                if spec.limit is not None and yielded >= spec.limit:
+                    return
+        finally:
+            self.operation_counters["documents_scanned"] += scanned
+
+    def _execute_find_sorted(
+        self,
+        spec: FindSpec,
+        candidates: Iterable[int],
+        predicate: Any,
+    ) -> Iterator[dict[str, Any]]:
+        matched: list[dict[str, Any]] = []
+        scanned = 0
+        for doc_id in candidates:
+            document = self._documents.get(doc_id)
+            if document is None:
+                continue
+            scanned += 1
+            if predicate(document):
+                matched.append(document)
+        self.operation_counters["documents_scanned"] += scanned
+        assert spec.sort is not None
+        key = document_sort_key(spec.sort)
+        bound = spec.fetch_bound
+        if bound is not None:
+            selected = heapq.nsmallest(bound, matched, key=key)[spec.skip:]
+        else:
+            matched.sort(key=key)
+            selected = matched[spec.skip:]
+        for document in selected:
+            yield self._emit(document, spec.projection)
+
+    def explain_find(self, spec: FindSpec) -> dict[str, Any]:
+        """The plan for *spec*: access path, sort strategy, and the spec."""
+        plan = self._plan_find(spec)
+        if not spec.sort:
+            sort_mode = None
+        elif plan.sort_served:
+            sort_mode = "indexOrder"
+        elif spec.fetch_bound is not None:
+            sort_mode = "topK"
+        else:
+            sort_mode = "sortMaterialize"
+        return {
+            "queryPlanner": {
+                "winningPlan": plan.describe(),
+                "sortMode": sort_mode,
+                "findSpec": spec.describe(),
+            }
+        }
 
     def find(
         self,
         query: Mapping[str, Any] | None = None,
         projection: Mapping[str, Any] | None = None,
+        *,
+        sort: str | Sequence[tuple[str, int]] | Mapping[str, int] | None = None,
+        skip: int = 0,
+        limit: int = 0,
+        batch_size: int | None = None,
+        hint: str | None = None,
     ) -> Cursor:
-        """Return a cursor over the documents matching *query*."""
-        return Cursor(lambda: self._find_documents(query), projection=projection)
+        """Return a lazy cursor over the documents matching *query*.
+
+        Options may be passed here or chained on the cursor; either way the
+        executor receives one complete :class:`FindSpec` when iteration
+        starts.
+        """
+        spec = FindSpec.create(
+            filter=query,
+            projection=projection,
+            sort=sort,
+            skip=skip,
+            limit=limit,
+            batch_size=batch_size,
+            hint=hint,
+        )
+        return Cursor(self._execute_find, spec=spec, explain=self.explain_find)
 
     def find_one(
         self,
         query: Mapping[str, Any] | None = None,
         projection: Mapping[str, Any] | None = None,
+        *,
+        sort: str | Sequence[tuple[str, int]] | Mapping[str, int] | None = None,
     ) -> dict[str, Any] | None:
         """Return one matching document, or ``None``."""
-        for document in self.find(query, projection).limit(1):
+        for document in self.find(query, projection, sort=sort, limit=1):
             return document
         return None
 
@@ -252,23 +391,22 @@ class Collection:
         """Count the documents matching *query*."""
         if not query:
             return len(self._documents)
-        return len(self._find_documents(query))
+        return len(self._matched_raw(query))
 
     def distinct(self, key: str, query: Mapping[str, Any] | None = None) -> list[Any]:
         """Return the distinct values of *key* among matching documents."""
         values: list[Any] = []
-        for document in self._find_documents(query):
+        for document in self._matched_raw(query):
             for value in resolve_path(document, key):
                 candidates = value if isinstance(value, list) else [value]
                 for candidate in candidates:
                     if not any(values_equal(candidate, existing) for existing in values):
                         values.append(candidate)
-        return values
+        return [deep_copy_document({"v": value})["v"] for value in values]
 
     def explain(self, query: Mapping[str, Any] | None = None) -> dict[str, Any]:
         """Return the access plan chosen for *query* (``explain()`` analogue)."""
-        plan, _candidates = self._candidate_ids(query)
-        return {"queryPlanner": {"winningPlan": plan.describe()}}
+        return self.explain_find(FindSpec(filter=query))
 
     # --------------------------------------------------------------- updates
 
@@ -551,14 +689,11 @@ class Collection:
         skip: int = 0,
         limit: int = 0,
     ) -> list[dict[str, Any]]:
-        """One-shot find used by the sharded router (no cursor chaining)."""
-        documents = self._find_documents(query)
-        if sort:
-            documents = sort_documents(documents, sort)
-        if skip:
-            documents = documents[skip:]
-        if limit:
-            documents = documents[:limit]
-        if projection:
-            documents = [project_document(doc, projection) for doc in documents]
-        return documents
+        """One-shot find over the spec executor (used by the sharded router)."""
+        return self.find(
+            query, projection, sort=sort, skip=skip, limit=limit
+        ).to_list()
+
+    def execute_find(self, spec: FindSpec) -> list[dict[str, Any]]:
+        """Execute a complete spec in one shot (the shard-side entry point)."""
+        return list(self._execute_find(spec))

@@ -1,8 +1,15 @@
 """Cursors and operation results.
 
 ``find()`` returns a :class:`Cursor` (Section 4.1.3.1 of the thesis iterates
-such cursors in the EmbedDocuments algorithm).  Write operations return small
-result objects mirroring the driver API the thesis code was written against.
+such cursors in the EmbedDocuments algorithm).  A cursor is *lazy*: chained
+``sort``/``skip``/``limit``/``batch_size``/``hint`` calls only refine the
+cursor's :class:`~repro.documentstore.findspec.FindSpec`; nothing executes
+until the first document is requested, at which point the complete spec is
+handed to the executor in one piece.  The same cursor type fronts both the
+stand-alone collection engine and the sharded query router.
+
+Write operations return small result objects mirroring the driver API the
+thesis code was written against.
 """
 
 from __future__ import annotations
@@ -11,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .errors import OperationFailure
+from .findspec import FindSpec
 from .matching import resolve_path_single
-from .ordering import document_sort_key
 
 __all__ = [
     "Cursor",
@@ -20,22 +27,14 @@ __all__ = [
     "InsertManyResult",
     "UpdateResult",
     "DeleteResult",
-    "sort_documents",
     "project_document",
 ]
 
 
-def sort_documents(
-    documents: list[dict[str, Any]],
-    sort_specification: Sequence[tuple[str, int]] | Mapping[str, int],
-) -> list[dict[str, Any]]:
-    """Return *documents* sorted by the given ``(field, direction)`` pairs.
-
-    One stable pass over a composite key (shared with ``$sort`` and the
-    top-k fast path via :mod:`repro.documentstore.ordering`) replaces the
-    previous one-``cmp_to_key``-pass-per-field implementation.
-    """
-    return sorted(documents, key=document_sort_key(sort_specification))
+#: Sentinel distinguishing a legitimately-``None`` value from a missing path
+#: during projection (a dotted inclusion path must not materialize ``None``
+#: for fields the document never had).
+_MISSING = object()
 
 
 def project_document(
@@ -54,8 +53,8 @@ def project_document(
     if inclusions:
         projected: dict[str, Any] = {}
         for path in inclusions:
-            value = resolve_path_single(document, path, default=None)
-            if value is None and "." not in path and path not in document:
+            value = resolve_path_single(document, path, default=_MISSING)
+            if value is _MISSING:
                 continue
             _set_nested(projected, path, value)
         if include_id and "_id" in document:
@@ -92,75 +91,101 @@ def _remove_nested(target: dict[str, Any], path: str) -> None:
 class Cursor:
     """Lazy, chainable result iterator for ``find()``.
 
-    ``sort``, ``skip``, and ``limit`` may be chained before iteration starts;
-    iteration materializes the results once and then behaves like a plain
-    iterator (``hasNext``/``next`` style access is available via ``alive`` and
-    ``next``).
+    The cursor owns a :class:`FindSpec` and two executor callables.
+    ``execute(spec)`` must return an iterable of final result documents
+    (already filtered, sorted, sliced, and projected); ``explain(spec)``
+    must return the executor's plan for the spec.  Execution is deferred
+    until the first document is requested; consumed documents are cached so
+    a cursor can be iterated more than once without re-executing.
     """
 
     def __init__(
         self,
-        fetch: Callable[[], Iterable[dict[str, Any]]],
-        projection: Mapping[str, Any] | None = None,
+        execute: Callable[[FindSpec], Iterable[dict[str, Any]]],
+        spec: FindSpec | None = None,
+        explain: Callable[[FindSpec], dict[str, Any]] | None = None,
     ) -> None:
-        self._fetch = fetch
-        self._projection = projection
-        self._sort: list[tuple[str, int]] | None = None
-        self._skip = 0
-        self._limit: int | None = None
-        self._materialized: list[dict[str, Any]] | None = None
+        self._execute = execute
+        self._explain = explain
+        self._spec = spec or FindSpec()
+        self._source: Iterator[dict[str, Any]] | None = None
+        self._consumed: list[dict[str, Any]] = []
+        self._exhausted = False
         self._position = 0
+
+    # -- the spec ----------------------------------------------------------
+
+    @property
+    def spec(self) -> FindSpec:
+        """The (immutable) find specification this cursor will execute."""
+        return self._spec
 
     # -- chaining ----------------------------------------------------------
 
     def sort(self, key_or_list: str | Sequence[tuple[str, int]], direction: int = 1) -> "Cursor":
         """Sort the results; accepts a field name or a list of pairs."""
-        self._assert_not_started()
-        if isinstance(key_or_list, str):
-            self._sort = [(key_or_list, direction)]
-        else:
-            self._sort = [(field_path, dir_) for field_path, dir_ in key_or_list]
+        self._chain(self._spec.with_sort(key_or_list, direction))
         return self
 
     def skip(self, count: int) -> "Cursor":
         """Skip the first *count* results."""
-        self._assert_not_started()
-        if count < 0:
-            raise OperationFailure("skip must be non-negative")
-        self._skip = count
+        self._chain(self._spec.with_skip(count))
         return self
 
     def limit(self, count: int) -> "Cursor":
         """Limit the number of returned results."""
-        self._assert_not_started()
-        if count < 0:
-            raise OperationFailure("limit must be non-negative")
-        self._limit = count or None
+        self._chain(self._spec.with_limit(count))
         return self
 
-    def _assert_not_started(self) -> None:
-        if self._materialized is not None:
-            raise OperationFailure("cannot modify a cursor after iteration started")
+    def batch_size(self, count: int) -> "Cursor":
+        """Set the response batch size (per network message on a cluster)."""
+        self._chain(self._spec.with_batch_size(count))
+        return self
 
-    # -- iteration ----------------------------------------------------------
+    def hint(self, index_name: str) -> "Cursor":
+        """Force the planner to use the index called *index_name*."""
+        self._chain(self._spec.with_hint(index_name))
+        return self
+
+    def _chain(self, spec: FindSpec) -> None:
+        if self._source is not None:
+            raise OperationFailure("cannot modify a cursor after iteration started")
+        self._spec = spec
+
+    # -- execution ----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._source is None:
+            self._source = iter(self._execute(self._spec))
+
+    def _pull(self) -> dict[str, Any] | None:
+        """Fetch one more document from the executor into the cache."""
+        self._ensure_started()
+        if self._exhausted:
+            return None
+        assert self._source is not None
+        try:
+            document = next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self._consumed.append(document)
+        return document
 
     def _materialize(self) -> list[dict[str, Any]]:
-        if self._materialized is None:
-            documents = list(self._fetch())
-            if self._sort:
-                documents = sort_documents(documents, self._sort)
-            if self._skip:
-                documents = documents[self._skip:]
-            if self._limit is not None:
-                documents = documents[: self._limit]
-            if self._projection:
-                documents = [project_document(doc, self._projection) for doc in documents]
-            self._materialized = documents
-        return self._materialized
+        while self._pull() is not None:
+            pass
+        return self._consumed
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        for document in self._materialize():
-            yield document
+        index = 0
+        while True:
+            if index < len(self._consumed):
+                yield self._consumed[index]
+                index += 1
+                continue
+            if self._pull() is None:
+                return
 
     def __len__(self) -> int:
         return len(self._materialize())
@@ -171,14 +196,15 @@ class Cursor:
     @property
     def alive(self) -> bool:
         """True while there are unread results (``cursor.hasNext()``)."""
-        return self._position < len(self._materialize())
+        if self._position < len(self._consumed):
+            return True
+        return self._pull() is not None
 
     def next(self) -> dict[str, Any]:
         """Return the next unread document (``cursor.next()``)."""
-        documents = self._materialize()
-        if self._position >= len(documents):
+        if self._position >= len(self._consumed) and self._pull() is None:
             raise StopIteration("cursor exhausted")
-        document = documents[self._position]
+        document = self._consumed[self._position]
         self._position += 1
         return document
 
@@ -189,6 +215,12 @@ class Cursor:
     def count(self) -> int:
         """Return the number of results."""
         return len(self._materialize())
+
+    def explain(self) -> dict[str, Any]:
+        """Return the executor's plan for this cursor's spec."""
+        if self._explain is None:
+            raise OperationFailure("this cursor's executor does not support explain")
+        return self._explain(self._spec)
 
 
 @dataclass(frozen=True)

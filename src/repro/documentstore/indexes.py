@@ -126,22 +126,47 @@ class Index:
         # Parallel arrays: _keys is sorted; _entries[i] is (raw_key, doc_id).
         self._keys: list[tuple[_OrderedKey, ...]] = []
         self._entries: list[tuple[tuple[Any, ...], int]] = []
+        # Entries whose key does not order like the underlying document value
+        # (embedded documents collapse to a canonical marker, arrays fan out
+        # into per-element keys).  The planner must not serve a sort from
+        # this index while any such entry exists.
+        self._order_unsafe_entries = 0
 
     # -- key extraction ----------------------------------------------------
 
     def keys_for_document(self, document: Mapping[str, Any]) -> list[tuple[Any, ...]]:
         """Return every index key produced by *document* (multikey fan-out)."""
+        keys, _order_safe = self._expand_keys(document)
+        return keys
+
+    def _expand_keys(
+        self, document: Mapping[str, Any]
+    ) -> tuple[list[tuple[Any, ...]], bool]:
+        """Return ``(keys, order_safe)`` for *document*.
+
+        ``order_safe`` is False when any indexed value is an array (multikey
+        fan-out indexes elements, not the array the sort comparator sees) or
+        an embedded document (collapsed to a canonical marker) — either way
+        the stored key order diverges from the document sort order.
+        """
+        order_safe = True
         per_field_values: list[list[Any]] = []
         for field_path, direction in self.spec.keys:
             values = resolve_path(document, field_path)
             if not values:
                 values = [_MISSING_KEY]
+            elif len(values) > 1:
+                # Dotted path through an array of subdocuments: fan-out.
+                order_safe = False
             expanded: list[Any] = []
             for value in values:
                 if isinstance(value, (list, tuple)):
                     # Multikey: each array element produces its own key.
+                    order_safe = False
                     expanded.extend(value if value else [_MISSING_KEY])
                 else:
+                    if isinstance(value, Mapping):
+                        order_safe = False
                     expanded.append(value)
             if direction == HASHED:
                 expanded = [hashed_value(value) for value in expanded]
@@ -160,13 +185,14 @@ class Index:
             if marker not in seen:
                 seen.add(marker)
                 unique_keys.append(key)
-        return unique_keys
+        return unique_keys, order_safe
 
     # -- maintenance ---------------------------------------------------------
 
     def insert(self, document: Mapping[str, Any], doc_id: int) -> None:
         """Index *document* stored under *doc_id*."""
-        for key in self.keys_for_document(document):
+        keys, order_safe = self._expand_keys(document)
+        for key in keys:
             ordered = _ordered_tuple(key)
             if self.spec.unique:
                 position = bisect.bisect_left(self._keys, ordered)
@@ -175,16 +201,21 @@ class Index:
             position = bisect.bisect_right(self._keys, ordered)
             self._keys.insert(position, ordered)
             self._entries.insert(position, (key, doc_id))
+            if not order_safe:
+                self._order_unsafe_entries += 1
 
     def remove(self, document: Mapping[str, Any], doc_id: int) -> None:
         """Remove the entries of *document* stored under *doc_id*."""
-        for key in self.keys_for_document(document):
+        keys, order_safe = self._expand_keys(document)
+        for key in keys:
             ordered = _ordered_tuple(key)
             position = bisect.bisect_left(self._keys, ordered)
             while position < len(self._keys) and self._keys[position] == ordered:
                 if self._entries[position][1] == doc_id:
                     del self._keys[position]
                     del self._entries[position]
+                    if not order_safe:
+                        self._order_unsafe_entries -= 1
                     break
                 position += 1
 
@@ -202,6 +233,12 @@ class Index:
         """Drop every entry (used when a collection is emptied)."""
         self._keys.clear()
         self._entries.clear()
+        self._order_unsafe_entries = 0
+
+    @property
+    def order_safe(self) -> bool:
+        """True when every stored key orders exactly like its document value."""
+        return self._order_unsafe_entries == 0
 
     # -- lookups -------------------------------------------------------------
 
@@ -284,6 +321,11 @@ class Index:
         if reverse:
             entries = reversed(self._entries)
         yield from entries
+
+    def ordered_doc_ids(self, reverse: bool = False) -> Iterator[int]:
+        """Yield document ids in index-key order (used to serve a sort)."""
+        for _key, doc_id in self.scan(reverse=reverse):
+            yield doc_id
 
     def distinct_first_values(self) -> list[Any]:
         """Distinct values of the leading key (used for chunk split points)."""

@@ -11,12 +11,14 @@ plan only has to produce a superset of the matching documents.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
-from .indexes import HASHED, Index
+from .errors import OperationFailure
+from .indexes import Index
 
-__all__ = ["QueryPlan", "plan_query"]
+__all__ = ["QueryPlan", "plan_query", "plan_find"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +37,11 @@ class QueryPlan:
     candidate_ids: tuple[int, ...] | None = None
     documents_examined: int = 0
     pipeline_stages: tuple[Mapping[str, Any], ...] = ()
+    #: True when iterating ``candidate_ids`` yields documents already in the
+    #: requested sort order (the executor can stream instead of sorting).
+    sort_served: bool = False
+    #: Index scan direction when ``sort_served`` ("forward" or "backward").
+    direction: str = "forward"
 
     def describe(self) -> dict[str, Any]:
         """Return an ``explain()``-style description of the plan."""
@@ -43,6 +50,9 @@ class QueryPlan:
             description["indexName"] = self.index_name
             description["keyPattern"] = list(self.index_fields)
             description["keysExamined"] = self.documents_examined
+            if self.sort_served:
+                description["sortServedByIndex"] = True
+                description["direction"] = self.direction
         if self.pipeline_stages:
             description["pipelineStages"] = [dict(entry) for entry in self.pipeline_stages]
         return description
@@ -58,6 +68,8 @@ class QueryPlan:
             candidate_ids=self.candidate_ids,
             documents_examined=self.documents_examined,
             pipeline_stages=tuple(dict(entry) for entry in stages),
+            sort_served=self.sort_served,
+            direction=self.direction,
         )
 
 
@@ -173,6 +185,84 @@ def plan_query(
         candidate_ids=tuple(candidate_ids),
         documents_examined=len(candidate_ids),
     )
+
+
+def plan_find(
+    query: Mapping[str, Any] | None,
+    sort: Sequence[tuple[str, int]] | None,
+    indexes: Mapping[str, Index],
+    collection_size: int,
+    *,
+    hint: str | None = None,
+    fetch_bound: int | None = None,
+) -> QueryPlan:
+    """Choose an access path for a complete find spec (filter *and* sort).
+
+    Extends :func:`plan_query` with sort awareness: when the filter cannot
+    use an index but an index's key order reproduces the requested sort, the
+    plan scans that index in order (forward or backward) and marks
+    ``sort_served`` so the executor can stream — and stop at ``skip+limit`` —
+    instead of materializing and sorting every match.
+
+    With an empty filter every scanned key is a match, so a known
+    *fetch_bound* (``skip + limit``) caps the candidate snapshot itself —
+    ``find_one(sort=...)`` touches one index entry, not the whole index.
+    """
+    usable = indexes
+    if hint is not None:
+        if hint not in indexes:
+            raise OperationFailure(f"hint {hint!r} does not match an index")
+        usable = {hint: indexes[hint]}
+    plan = plan_query(query, usable, collection_size)
+    if not sort:
+        return plan
+    if plan.stage == "IXSCAN" and not hint:
+        return plan
+    for name, index in usable.items():
+        direction = _index_sort_direction(index, sort, collection_size)
+        if direction is None:
+            continue
+        ordered = index.ordered_doc_ids(reverse=direction == "backward")
+        if not query and fetch_bound is not None:
+            ordered = itertools.islice(ordered, fetch_bound)
+        candidate_ids = tuple(ordered)
+        return QueryPlan(
+            stage="IXSCAN",
+            index_name=name,
+            index_fields=index.spec.fields,
+            candidate_ids=candidate_ids,
+            documents_examined=len(candidate_ids),
+            sort_served=True,
+            direction=direction,
+        )
+    return plan
+
+
+def _index_sort_direction(
+    index: Index,
+    sort: Sequence[tuple[str, int]],
+    collection_size: int,
+) -> str | None:
+    """Scan direction if *index* can serve *sort*, else ``None``.
+
+    The index qualifies when the sort fields are a prefix of its key fields
+    with one uniform direction, it is not hashed, every document contributes
+    exactly one entry (no multikey fan-out, so every document appears once),
+    and every stored key orders exactly like the document value it came from.
+    """
+    if index.spec.is_hashed or not index.order_safe:
+        return None
+    if len(index) != collection_size:
+        return None
+    fields = tuple(field_path for field_path, _direction in sort)
+    if index.spec.fields[: len(fields)] != fields:
+        return None
+    directions = {direction for _field_path, direction in sort}
+    if directions == {1}:
+        return "forward"
+    if directions == {-1}:
+        return "backward"
+    return None
 
 
 def _candidates_from_index(

@@ -97,10 +97,10 @@ class Balancer:
         collection = shard.collection(database_name, collection_name)
         if not manager.shard_key.hashed:
             query = self._chunk_filter(manager, chunk)
-            return collection.find_with_options(query)
+            return collection.find(query).to_list()
         matching = []
         predicate = compile_filter({})
-        for document in collection.find_with_options({}):
+        for document in collection.find({}):
             if not predicate(document):
                 continue
             routing_value = manager.shard_key.extract(document)

@@ -8,7 +8,7 @@ the chunk table mapping key ranges to shards (Section 2.1.3.1).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..documentstore.errors import ShardingError, ShardKeyError
 from .chunks import ChunkManager, ShardKeyPattern

@@ -20,8 +20,10 @@ performance shape of the paper's cluster.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..documentstore.aggregation import run_pipeline, split_pipeline_for_shards
@@ -33,10 +35,10 @@ from ..documentstore.cursor import (
     InsertOneResult,
     UpdateResult,
     project_document,
-    sort_documents,
 )
-from ..documentstore.errors import OperationFailure, ShardKeyError
+from ..documentstore.findspec import FindSpec
 from ..documentstore.objectid import ObjectId
+from ..documentstore.ordering import document_sort_key
 from .chunks import ChunkManager
 from .config_server import ConfigServer
 from .network import SimulatedNetwork
@@ -72,6 +74,10 @@ class RouterMetrics:
     parallel_shard_seconds: float = 0.0
     network_seconds: float = 0.0
     shards_contacted: int = 0
+    #: Result items (documents or distinct values) shipped shard → router.
+    documents_shipped: int = 0
+    #: Serialized bytes of those shard → router result payloads.
+    bytes_shipped: int = 0
 
     def simulated_overhead_seconds(self) -> float:
         """Adjustment to add to measured wall time to get simulated elapsed time.
@@ -95,6 +101,8 @@ class RouterMetrics:
             "network_seconds": self.network_seconds,
             "simulated_overhead_seconds": self.simulated_overhead_seconds(),
             "shards_contacted": self.shards_contacted,
+            "documents_shipped": self.documents_shipped,
+            "bytes_shipped": self.bytes_shipped,
         }
 
 
@@ -219,8 +227,16 @@ class QueryRouter:
         *,
         ship_results: bool = True,
         targeted: bool = False,
+        response_batch_size: int | None = None,
     ) -> dict[str, Any]:
-        """Send an operation to *targets*, collect results, account the cost."""
+        """Send an operation to *targets*, collect results, account the cost.
+
+        List results are serialized back to the router in batches of
+        *response_batch_size* (default :data:`RESPONSE_BATCH_SIZE`) — lists
+        of documents directly, lists of scalar values (``distinct``) wrapped
+        per value.  Shipped item counts and payload bytes are accounted in
+        :class:`RouterMetrics`.
+        """
         per_shard_results: dict[str, Any] = {}
         slowest_branch = 0.0
         network_seconds_before = self.network.stats.simulated_seconds
@@ -233,18 +249,27 @@ class QueryRouter:
             result = shard.timed(shard_operation, shard)
             execution_seconds = time.perf_counter() - started
             if ship_results and isinstance(result, list) and result:
+                unwrap = not all(isinstance(item, Mapping) for item in result)
+                payload_docs: list[Mapping[str, Any]] = (
+                    [{"v": item} for item in result] if unwrap else result
+                )
                 shipped: list[dict[str, Any]] = []
-                batch_size = self.RESPONSE_BATCH_SIZE
-                for start in range(0, len(result), batch_size):
+                batch_size = response_batch_size or self.RESPONSE_BATCH_SIZE
+                bytes_before = self.network.stats.bytes_transferred
+                for start in range(0, len(payload_docs), batch_size):
                     shipped.extend(
                         self.network.ship_documents(
-                            result[start:start + batch_size],
+                            payload_docs[start:start + batch_size],
                             source=shard_id,
                             destination=self.name,
                             purpose=f"{purpose}:response",
                         )
                     )
-                result = shipped
+                self.metrics.documents_shipped += len(payload_docs)
+                self.metrics.bytes_shipped += (
+                    self.network.stats.bytes_transferred - bytes_before
+                )
+                result = [doc["v"] for doc in shipped] if unwrap else shipped
             else:
                 self.network.ship_command(
                     {"ok": 1},
@@ -339,6 +364,67 @@ class QueryRouter:
 
     # --------------------------------------------------------------------- reads
 
+    def execute_find(
+        self,
+        database_name: str,
+        collection_name: str,
+        spec: FindSpec,
+    ) -> list[dict[str, Any]]:
+        """Execute a complete find spec with shard-side pushdown.
+
+        Projection, sort, and ``skip + limit`` are pushed to every target
+        shard (each returns at most ``skip + limit`` pre-sorted, pre-projected
+        documents); the router then runs a streaming k-way heap merge of the
+        shard-sorted lists and applies the global skip/limit, so a sorted and
+        limited broadcast ships ``shards × (skip + limit)`` documents instead
+        of every shard's full result set.
+        """
+        targets, targeted = self._target_shards(database_name, collection_name, spec.filter)
+        shard_spec = spec.shard_spec()
+        projection_pushed = spec.projection is None or shard_spec.projection is not None
+
+        def do_find(shard: Shard) -> list[dict[str, Any]]:
+            return shard.collection(database_name, collection_name).execute_find(shard_spec)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {
+                "find": collection_name,
+                "filter": spec.filter,
+                "sort": list(spec.sort) if spec.sort else None,
+                "limit": shard_spec.limit,
+                "projection": shard_spec.projection,
+            },
+            "find",
+            do_find,
+            targeted=targeted,
+            response_batch_size=spec.batch_size,
+        )
+        started = time.perf_counter()
+        shard_results = [per_shard[shard_id] for shard_id in targets]
+        if spec.sort:
+            # Every shard list is already sorted: stream a k-way heap merge.
+            merged: Iterable[dict[str, Any]] = heapq.merge(
+                *shard_results, key=document_sort_key(spec.sort)
+            )
+        else:
+            merged = itertools.chain.from_iterable(shard_results)
+        results: list[dict[str, Any]] = []
+        remaining_skip = spec.skip
+        for document in merged:
+            if remaining_skip:
+                remaining_skip -= 1
+                continue
+            results.append(document)
+            if spec.limit is not None and len(results) >= spec.limit:
+                break
+        if not projection_pushed and spec.projection:
+            results = [project_document(doc, spec.projection) for doc in results]
+        self._account_router_work(started)
+        return results
+
     def find(
         self,
         database_name: str,
@@ -347,28 +433,46 @@ class QueryRouter:
         projection: Mapping[str, Any] | None = None,
     ) -> list[dict[str, Any]]:
         """Scatter a find to the target shards and merge the results."""
-        targets, targeted = self._target_shards(database_name, collection_name, query)
-
-        def do_find(shard: Shard) -> list[dict[str, Any]]:
-            return shard.collection(database_name, collection_name).find_with_options(query)
-
-        per_shard = self._scatter(
+        return self.execute_find(
             database_name,
             collection_name,
-            targets,
-            {"find": collection_name, "filter": query},
-            "find",
-            do_find,
-            targeted=targeted,
+            FindSpec(filter=query, projection=projection),
         )
-        started = time.perf_counter()
-        merged: list[dict[str, Any]] = []
-        for shard_id in targets:
-            merged.extend(per_shard[shard_id])
-        if projection:
-            merged = [project_document(doc, projection) for doc in merged]
-        self._account_router_work(started)
-        return merged
+
+    def explain_find(
+        self,
+        database_name: str,
+        collection_name: str,
+        spec: FindSpec,
+    ) -> dict[str, Any]:
+        """Explain a routed find: routing decision, pushdown, per-shard plans."""
+        targets, targeted = self._target_shards(database_name, collection_name, spec.filter)
+        shard_spec = spec.shard_spec()
+        shards = {
+            shard_id: self._shards[shard_id]
+            .collection(database_name, collection_name)
+            .explain_find(shard_spec)["queryPlanner"]
+            for shard_id in targets
+        }
+        winning_plan = {
+            "stage": "SINGLE_SHARD" if len(targets) == 1 else "SHARD_MERGE",
+            "targeted": targeted,
+            "shardsContacted": list(targets),
+            "pushdown": {
+                "projection": spec.projection is not None
+                and shard_spec.projection is not None,
+                "sort": spec.sort is not None,
+                "limit": shard_spec.limit,
+            },
+            "shards": shards,
+        }
+        return {
+            "queryPlanner": {
+                "winningPlan": winning_plan,
+                "sortMode": "streamingKWayMerge" if spec.sort else None,
+                "findSpec": spec.describe(),
+            }
+        }
 
     def count_documents(
         self,
@@ -401,7 +505,13 @@ class QueryRouter:
         key: str,
         query: Mapping[str, Any] | None = None,
     ) -> list[Any]:
-        """Scatter a distinct and merge the per-shard value sets."""
+        """Scatter a distinct and merge the per-shard value sets.
+
+        Deduplication happens shard-side (each shard ships its *unique*
+        values, not one value per matching document), so the response
+        payload — accounted in ``RouterMetrics.bytes_shipped`` — is bounded
+        by the value cardinality rather than the match count.
+        """
         targets, targeted = self._target_shards(database_name, collection_name, query)
 
         def do_distinct(shard: Shard) -> list[Any]:
@@ -414,7 +524,7 @@ class QueryRouter:
             {"distinct": collection_name, "key": key},
             "distinct",
             do_distinct,
-            ship_results=False,
+            ship_results=True,
             targeted=targeted,
         )
         started = time.perf_counter()
@@ -807,20 +917,54 @@ class RoutedCollection:
         self,
         query: Mapping[str, Any] | None = None,
         projection: Mapping[str, Any] | None = None,
+        *,
+        sort: str | Sequence[tuple[str, int]] | Mapping[str, int] | None = None,
+        skip: int = 0,
+        limit: int = 0,
+        batch_size: int | None = None,
+        hint: str | None = None,
     ) -> Cursor:
-        return Cursor(
-            lambda: self._router.find(self._database_name, self.name, query),
+        """Return a lazy cursor whose spec is pushed down to the shards.
+
+        The same :class:`Cursor` type as the stand-alone collection: chained
+        options refine the spec, and only the first iteration sends the
+        complete spec through the router.
+        """
+        spec = FindSpec.create(
+            filter=query,
             projection=projection,
+            sort=sort,
+            skip=skip,
+            limit=limit,
+            batch_size=batch_size,
+            hint=hint,
+        )
+        return Cursor(
+            lambda final_spec: self._router.execute_find(
+                self._database_name, self.name, final_spec
+            ),
+            spec=spec,
+            explain=lambda final_spec: self._router.explain_find(
+                self._database_name, self.name, final_spec
+            ),
         )
 
     def find_one(
         self,
         query: Mapping[str, Any] | None = None,
         projection: Mapping[str, Any] | None = None,
+        *,
+        sort: str | Sequence[tuple[str, int]] | Mapping[str, int] | None = None,
     ) -> dict[str, Any] | None:
-        for document in self.find(query, projection).limit(1):
+        for document in self.find(query, projection, sort=sort, limit=1):
             return document
         return None
+
+    def explain(self, query: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Explain a find on the cluster (``Collection.explain`` analogue)."""
+        return self._router.explain_find(
+            self._database_name, self.name, FindSpec(filter=query)
+        )
 
     def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
         return self._router.count_documents(self._database_name, self.name, query)
@@ -882,16 +1026,9 @@ class RoutedCollection:
         limit: int = 0,
     ) -> list[dict[str, Any]]:
         """One-shot find mirroring :meth:`Collection.find_with_options`."""
-        documents = self._router.find(self._database_name, self.name, query)
-        if sort:
-            documents = sort_documents(documents, sort)
-        if skip:
-            documents = documents[skip:]
-        if limit:
-            documents = documents[:limit]
-        if projection:
-            documents = [project_document(doc, projection) for doc in documents]
-        return documents
+        return self.find(
+            query, projection, sort=sort, skip=skip, limit=limit
+        ).to_list()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RoutedCollection({self.full_name!r})"

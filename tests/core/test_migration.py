@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.migration import (
-    DatasetLoadReport,
     migrate_dat_directory,
     migrate_dat_file,
     migrate_generated_dataset,

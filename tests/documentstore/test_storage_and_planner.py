@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.documentstore import Collection, DocumentStoreClient, ObjectId, plan_query
 from repro.documentstore.indexes import Index, IndexSpec
 from repro.documentstore.storage import (
