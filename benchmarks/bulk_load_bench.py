@@ -1,0 +1,134 @@
+"""Measure bulk-load throughput on the write path.
+
+Run directly (``PYTHONPATH=src python benchmarks/bulk_load_bench.py``) to
+print wall times for the load shapes the paper's Table 4.3 / Figure 4.9
+experiments exercise:
+
+* ``insert_many`` into a collection that already carries secondary indexes
+  (the load-with-index ablation), at two scales to expose the asymptotics;
+* the same load inside ``collection.bulk_load()`` (secondary-index
+  maintenance deferred, one-sort rebuild on exit);
+* a routed ``insert_many`` into a hashed sharded collection (single-pass
+  batch routing, one shipment per shard).
+
+The output of this script before and after the batched write engine is
+recorded in ``benchmarks/results/bulk_load_before_after.txt``.  Set
+``REPRO_BULK_BENCH_SCALE=tiny`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.documentstore.collection import Collection
+from repro.sharding.cluster import ShardedCluster
+
+if os.environ.get("REPRO_BULK_BENCH_SCALE", "full").lower() == "tiny":
+    SCALES = (200, 1_000)
+    SHARDED_DOCS = 600
+else:
+    SCALES = (10_000, 100_000)
+    SHARDED_DOCS = 30_000
+
+SHARDS = 3
+
+
+def make_documents(count: int) -> list[dict]:
+    random.seed(20151109)
+    return [
+        {
+            "item_sk": i,
+            "ticket": count - i,
+            "store": random.randrange(500),
+            "quantity": random.randrange(1, 100),
+            "price": round(random.uniform(1.0, 500.0), 2),
+            "tags": [i % 7, i % 11],
+        }
+        for i in range(count)
+    ]
+
+
+def indexed_collection() -> Collection:
+    collection = Collection(None, "store_sales")
+    collection.create_index("store")
+    collection.create_index([("store", 1), ("quantity", -1)])
+    collection.create_index("item_sk", unique=True)
+    collection.create_index("tags")
+    return collection
+
+
+def timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def bench_insert_many(documents: list[dict]) -> float:
+    collection = indexed_collection()
+    return timed(lambda: collection.insert_many(documents))
+
+
+def bench_bulk_load(documents: list[dict]) -> float:
+    collection = indexed_collection()
+
+    def run() -> None:
+        if hasattr(collection, "bulk_load"):
+            with collection.bulk_load():
+                collection.insert_many(documents)
+        else:  # pre-batched-engine code: plain insert_many
+            collection.insert_many(documents)
+
+    return timed(run)
+
+
+def bench_sharded_load(documents: list[dict]) -> dict:
+    cluster = ShardedCluster(shard_count=SHARDS)
+    cluster.enable_sharding("bench")
+    cluster.shard_collection("bench", "sales", {"item_sk": "hashed"})
+    cluster.reset_metrics()
+    sales = cluster.get_database("bench")["sales"]
+    seconds = timed(lambda: sales.insert_many(documents))
+    stats = cluster.network.stats.snapshot()
+    return {
+        "seconds": seconds,
+        "messages": stats["messages"],
+        "insert_requests": stats["by_purpose"].get("insert:request", 0),
+    }
+
+
+def main() -> None:
+    print(f"scales={SCALES} sharded_docs={SHARDED_DOCS} shards={SHARDS}")
+    rates = {}
+    for count in SCALES:
+        documents = make_documents(count)
+        seconds = bench_insert_many(documents)
+        rates[count] = seconds
+        print(
+            f"insert_many, 4 secondary indexes, {count:>7,} docs   "
+            f"wall={seconds:8.3f} s  ({count / seconds:>10,.0f} docs/s)"
+        )
+    small, large = SCALES
+    print(
+        f"scaling {small:,} -> {large:,}: rows x{large / small:.0f}, "
+        f"time x{rates[large] / rates[small]:.1f}"
+    )
+    for count in SCALES:
+        documents = make_documents(count)
+        seconds = bench_bulk_load(documents)
+        print(
+            f"bulk_load (deferred indexes),   {count:>7,} docs   "
+            f"wall={seconds:8.3f} s  ({count / seconds:>10,.0f} docs/s)"
+        )
+    documents = make_documents(SHARDED_DOCS)
+    report = bench_sharded_load(documents)
+    print(
+        f"sharded routed insert_many,     {SHARDED_DOCS:>7,} docs   "
+        f"wall={report['seconds']:8.3f} s  messages={report['messages']:,}  "
+        f"insert_request_messages={report['insert_requests']:,}"
+    )
+
+
+if __name__ == "__main__":
+    main()

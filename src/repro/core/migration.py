@@ -21,9 +21,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from ..tpcds.datfiles import DELIMITER
+from ..documentstore.collection import bulk_load_or_noop
+from ..tpcds.datfiles import read_dat_file
 from ..tpcds.generator import TPCDSGenerator
-from ..tpcds.schema import TPCDS_TABLES, table_schema
+from ..tpcds.schema import TPCDS_TABLES
 
 __all__ = [
     "MigrationResult",
@@ -108,16 +109,20 @@ def migrate_rows(
     """
     started = time.perf_counter()
     inserted = 0
-    batch: list[dict[str, Any]] = []
-    for row in rows:
-        batch.append(row_to_document(row))
-        if len(batch) >= batch_size:
+    # Stand-alone collections defer secondary-index maintenance for the whole
+    # load (one rebuild per index on exit); routed collections simply take
+    # batched inserts through the router's single-pass batch routing.
+    with bulk_load_or_noop(collection):
+        batch: list[dict[str, Any]] = []
+        for row in rows:
+            batch.append(row_to_document(row))
+            if len(batch) >= batch_size:
+                collection.insert_many(batch)
+                inserted += len(batch)
+                batch = []
+        if batch:
             collection.insert_many(batch)
             inserted += len(batch)
-            batch = []
-    if batch:
-        collection.insert_many(batch)
-        inserted += len(batch)
     elapsed = time.perf_counter() - started
     return MigrationResult(table=collection.name, documents_inserted=inserted, seconds=elapsed)
 
@@ -131,33 +136,13 @@ def migrate_dat_file(
 ) -> MigrationResult:
     """Load one ``.dat`` file into *collection* (Figure 4.3, steps 1-13).
 
-    The column-position to column-name mapping plays the role of the
-    algorithm's HashMap ``H``; each line is split on ``|`` and turned into a
-    document whose null values are skipped.
+    Line parsing is delegated to the one typed ``.dat`` parser
+    (:func:`repro.tpcds.datfiles.read_dat_file`, whose schema lookup plays
+    the role of the algorithm's HashMap ``H``); :func:`row_to_document`
+    drops the null columns, so the stored documents are identical to the
+    previous in-module parser's output.
     """
-    schema = table_schema(table_name)
-    column_by_position = {index: column for index, column in enumerate(schema.columns)}
-
-    def parse_lines() -> Iterable[dict[str, Any]]:
-        with pathlib.Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                values = line.rstrip("\n").split(DELIMITER)
-                row: dict[str, Any] = {}
-                for position, raw in enumerate(values):
-                    column = column_by_position.get(position)
-                    if column is None or raw == "":
-                        continue
-                    if column.type in ("integer", "identifier"):
-                        row[column.name] = int(raw)
-                    elif column.type == "decimal":
-                        row[column.name] = float(raw)
-                    else:
-                        row[column.name] = raw
-                yield row
-
-    result = migrate_rows(collection, parse_lines(), batch_size=batch_size)
+    result = migrate_rows(collection, read_dat_file(table_name, path), batch_size=batch_size)
     return MigrationResult(
         table=table_name, documents_inserted=result.documents_inserted, seconds=result.seconds
     )

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..documentstore.collection import bulk_load_or_noop
 from ..tpcds.queries import query_parameters
 from .denormalize import embed_documents
 from .queryspec import DimensionJoin, QuerySpec, query_spec
@@ -164,19 +165,24 @@ def _copy_into_intermediate(
     *,
     batch_size: int = 500,
 ) -> int:
-    """Store the semi-joined fact documents in the intermediate collection."""
+    """Store the semi-joined fact documents in the intermediate collection.
+
+    Rides the bulk write path: inserts are batched and, on stand-alone
+    collections, secondary-index maintenance is deferred for the whole copy.
+    """
     intermediate = database[intermediate_name]
     intermediate.drop()
     count = 0
-    for start in range(0, len(documents), batch_size):
-        batch = []
-        for document in documents[start:start + batch_size]:
-            document = dict(document)
-            document.pop("_id", None)
-            batch.append(document)
-        if batch:
-            intermediate.insert_many(batch)
-            count += len(batch)
+    with bulk_load_or_noop(intermediate):
+        for start in range(0, len(documents), batch_size):
+            batch = []
+            for document in documents[start:start + batch_size]:
+                document = dict(document)
+                document.pop("_id", None)
+                batch.append(document)
+            if batch:
+                intermediate.insert_many(batch)
+                count += len(batch)
     return count
 
 

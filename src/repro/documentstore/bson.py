@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
-from typing import Any, Iterable, Mapping
+from collections.abc import Mapping  # fast isinstance on the copy/validate hot path
+from typing import Any, Iterable
 
 from .errors import DocumentTooLargeError, InvalidDocumentError
 from .objectid import ObjectId

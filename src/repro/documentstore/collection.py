@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+from contextlib import contextmanager, nullcontext
+from typing import TYPE_CHECKING, Any, ContextManager, Iterable, Iterator, Mapping, Sequence
 
 from .aggregation import StageStats, optimize_pipeline, run_pipeline
 from .bson import (
@@ -36,6 +37,7 @@ from .cursor import (
 from .errors import (
     DuplicateKeyError,
     IndexNotFoundError,
+    InvalidDocumentError,
     OperationFailure,
 )
 from .findspec import FindSpec
@@ -49,7 +51,18 @@ from .update import apply_update, build_upsert_document, is_update_document
 if TYPE_CHECKING:  # pragma: no cover
     from .database import Database
 
-__all__ = ["Collection", "CollectionStats"]
+__all__ = ["Collection", "CollectionStats", "bulk_load_or_noop"]
+
+
+def bulk_load_or_noop(collection: Any) -> ContextManager[Any]:
+    """``collection.bulk_load()`` when the target supports it, else a no-op.
+
+    Loaders accept both stand-alone collections (which defer secondary-index
+    maintenance during the load) and routed collections (which don't expose
+    ``bulk_load`` — the router already batch-routes every insert).
+    """
+    bulk_load = getattr(collection, "bulk_load", None)
+    return bulk_load() if callable(bulk_load) else nullcontext()
 
 
 class CollectionStats:
@@ -92,6 +105,12 @@ class Collection:
         self._indexes: dict[str, Index] = {}
         self._id_index = Index(IndexSpec(keys=(("_id", ASCENDING),), unique=True, name="_id_"))
         self._indexes["_id_"] = self._id_index
+        # Secondary-index deferral (bulk_load / create_index(defer=True)).
+        # Deferred or pending indexes are not maintained by writes and not
+        # consulted by the planner until rebuild_indexes() brings them back.
+        self._defer_secondary_indexes = False
+        self._deferred_writes = False
+        self._pending_index_builds: set[str] = set()
         # Operation counters used by benchmarks and the sharded router.
         self.operation_counters = {
             "inserts": 0,
@@ -141,19 +160,95 @@ class Collection:
         *,
         unique: bool = False,
         name: str = "",
+        defer: bool = False,
     ) -> str:
         """Create a secondary index and return its name.
 
         Re-creating an index with an identical specification is a no-op.
+        The index is built with one key-extraction pass and one sort
+        (O(n log n)) rather than n incremental sorted-array inserts.
+
+        With ``defer=True`` — or inside a :meth:`bulk_load` block — the
+        index is registered but left empty; it is built by the next
+        :meth:`rebuild_indexes` call (which ``bulk_load`` exit performs
+        automatically).  Until then the planner ignores it.
         """
         spec = IndexSpec.from_key_specification(keys, unique=unique, name=name)
         if spec.name in self._indexes:
             return spec.name
         index = Index(spec)
-        for doc_id, document in self._documents.items():
-            index.insert(document, doc_id)
+        if defer or self._defer_secondary_indexes:
+            self._indexes[spec.name] = index
+            self._pending_index_builds.add(spec.name)
+            return spec.name
+        if self._documents:
+            index.rebuild(self._documents.items())
         self._indexes[spec.name] = index
         return spec.name
+
+    def rebuild_indexes(self) -> list[str]:
+        """Build every deferred index with one sort each; returns their names.
+
+        A unique violation aborts the offending build: the exception
+        propagates, that index stays pending (and invisible to the planner),
+        and the remaining pending builds are kept for a later attempt.
+        """
+        pending = sorted(self._pending_index_builds)
+        rebuilt: list[str] = []
+        for position, index_name in enumerate(pending):
+            index = self._indexes.get(index_name)
+            try:
+                if index is not None:
+                    index.rebuild(self._documents.items())
+            except DuplicateKeyError:
+                self._pending_index_builds = set(pending[position:])
+                raise
+            rebuilt.append(index_name)
+        self._pending_index_builds.clear()
+        return rebuilt
+
+    @contextmanager
+    def bulk_load(self) -> Iterator["Collection"]:
+        """Context manager deferring secondary-index maintenance for a load.
+
+        Inside the block, inserts (and updates/deletes) maintain only the
+        ``_id`` index; the planner answers queries without the stale
+        secondary indexes so results stay correct.  On exit every secondary
+        index is rebuilt with a single sort — the load-with-index ablation's
+        fast shape.  Unique-key enforcement on secondary indexes is deferred
+        to the rebuild: a violation surfaces as ``DuplicateKeyError`` on
+        exit, with the offending index left pending.
+
+        Nested ``bulk_load`` blocks are no-ops; the outermost exit rebuilds.
+        """
+        if self._defer_secondary_indexes:
+            yield self
+            return
+        self._defer_secondary_indexes = True
+        self._deferred_writes = False
+        body_failed = False
+        try:
+            yield self
+        except BaseException:
+            body_failed = True
+            raise
+        finally:
+            self._defer_secondary_indexes = False
+            if self._deferred_writes:
+                self._pending_index_builds.update(
+                    index_name for index_name in self._indexes if index_name != "_id_"
+                )
+            self._deferred_writes = False
+            if body_failed:
+                # The block is already unwinding: rebuild best-effort, but a
+                # deferred unique violation must not mask the original error.
+                # Offending indexes stay pending for a later rebuild_indexes().
+                try:
+                    self.rebuild_indexes()
+                except DuplicateKeyError:
+                    pass
+            else:
+                self.rebuild_indexes()
 
     def drop_index(self, name: str) -> None:
         """Drop the index called *name* (the ``_id`` index cannot be dropped)."""
@@ -162,6 +257,7 @@ class Collection:
         if name not in self._indexes:
             raise IndexNotFoundError(name)
         del self._indexes[name]
+        self._pending_index_builds.discard(name)
 
     def index_information(self) -> dict[str, dict[str, Any]]:
         """Describe every index on the collection."""
@@ -170,40 +266,114 @@ class Collection:
             for name, index in self._indexes.items()
         }
 
-    def _index_map(self) -> Mapping[str, Index]:
+    def _live_indexes(self) -> Mapping[str, Index]:
+        """The indexes the planner (and write maintenance) may rely on.
+
+        Deferred-mode secondaries and pending (unbuilt) indexes are stale or
+        empty, so they are excluded until :meth:`rebuild_indexes` runs.
+        """
+        if self._defer_secondary_indexes:
+            return {"_id_": self._id_index}
+        if self._pending_index_builds:
+            return {
+                index_name: index
+                for index_name, index in self._indexes.items()
+                if index_name not in self._pending_index_builds
+            }
         return self._indexes
 
     # --------------------------------------------------------------- inserts
 
-    def insert_one(self, document: Mapping[str, Any]) -> InsertOneResult:
-        """Insert a single document, assigning an ``ObjectId`` if needed."""
-        prepared = deep_copy_document(dict(document))
+    def _prepare_for_insert(self, document: Mapping[str, Any]) -> dict[str, Any]:
+        """Deep-copy *document* once, assign an ``_id``, and validate it."""
+        if not isinstance(document, Mapping):
+            raise InvalidDocumentError(
+                f"documents must be mappings, got {type(document).__name__}"
+            )
+        prepared = deep_copy_document(document)
         if "_id" not in prepared:
             prepared["_id"] = ObjectId()
         validate_document(prepared)
+        return prepared
+
+    def insert_one(self, document: Mapping[str, Any]) -> InsertOneResult:
+        """Insert a single document, assigning an ``ObjectId`` if needed."""
+        prepared = self._prepare_for_insert(document)
         self._insert_prepared(prepared)
         self.operation_counters["inserts"] += 1
         return InsertOneResult(inserted_id=prepared["_id"])
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertManyResult:
-        """Insert many documents; stops at the first failure (ordered mode)."""
-        inserted_ids: list[Any] = []
-        for document in documents:
-            result = self.insert_one(document)
-            inserted_ids.append(result.inserted_id)
-        return InsertManyResult(inserted_ids=inserted_ids)
+        """Insert many documents with one maintenance pass per index.
+
+        The whole batch is validated and ``_id``-assigned first (one deep
+        copy per document), so a malformed or oversized document rejects the
+        entire batch before anything is stored — driver-style client-side
+        validation.  Each index then absorbs the batch through a single
+        sorted merge instead of one ``list.insert`` per key.  On a
+        unique-key violation the bulk merge is rolled back from every index
+        and the batch is replayed document-by-document, so the stored prefix
+        and the raised error match ordered (stop-at-first-failure) mode.
+        """
+        prepared = [self._prepare_for_insert(document) for document in documents]
+        if not prepared:
+            return InsertManyResult(inserted_ids=[])
+        try:
+            self._bulk_insert_prepared(prepared)
+            self.operation_counters["inserts"] += len(prepared)
+        except DuplicateKeyError:
+            for document in prepared:
+                self._insert_prepared(document)
+                self.operation_counters["inserts"] += 1
+        return InsertManyResult(inserted_ids=[document["_id"] for document in prepared])
+
+    def _maintained_index_items(self) -> list[tuple[str, Index]]:
+        """The indexes writes must maintain (deferred/pending ones rebuild later)."""
+        return [
+            (index_name, index)
+            for index_name, index in self._indexes.items()
+            if index_name == "_id_"
+            or (
+                not self._defer_secondary_indexes
+                and index_name not in self._pending_index_builds
+            )
+        ]
+
+    def _bulk_insert_prepared(self, documents: Sequence[dict[str, Any]]) -> list[int]:
+        """Insert a prepared batch through the bulk index-merge path."""
+        if self._defer_secondary_indexes:
+            self._deferred_writes = True
+        batch = [(next(self._doc_id_counter), document) for document in documents]
+        undo_handles = []
+        try:
+            # dict order guarantees the unique _id index is merged first.
+            for _name, index in self._maintained_index_items():
+                undo_handles.append(index.bulk_insert(batch))
+        except DuplicateKeyError:
+            for handle in reversed(undo_handles):
+                handle.rollback()
+            raise
+        for doc_id, document in batch:
+            self._documents[doc_id] = document
+        return [doc_id for doc_id, _document in batch]
 
     def _insert_prepared(self, document: dict[str, Any]) -> int:
+        if self._defer_secondary_indexes:
+            self._deferred_writes = True
         doc_id = next(self._doc_id_counter)
-        # Insert into the unique _id index first so duplicates abort cleanly.
-        self._id_index.insert(document, doc_id)
+        # The unique _id index comes first in dict order, so duplicate _ids
+        # abort before any secondary index is touched.
+        updated: list[Index] = []
         try:
-            for name, index in self._indexes.items():
-                if name == "_id_":
-                    continue
+            for _name, index in self._maintained_index_items():
                 index.insert(document, doc_id)
+                updated.append(index)
         except DuplicateKeyError:
-            self._id_index.remove(document, doc_id)
+            # Remove the document from every index updated so far — a
+            # violation on the k-th secondary index must not leave entries
+            # behind in indexes 1..k-1.
+            for index in updated:
+                index.remove(document, doc_id)
             raise
         self._documents[doc_id] = document
         return doc_id
@@ -211,7 +381,7 @@ class Collection:
     # ---------------------------------------------------------------- reads
 
     def _candidate_ids(self, query: Mapping[str, Any] | None) -> tuple[QueryPlan, Iterable[int]]:
-        plan = plan_query(query, self._indexes, len(self._documents))
+        plan = plan_query(query, self._live_indexes(), len(self._documents))
         if plan.stage == "IXSCAN" and plan.candidate_ids is not None:
             return plan, plan.candidate_ids
         return plan, list(self._documents.keys())
@@ -239,12 +409,18 @@ class Collection:
     # -- the FindSpec executor ----------------------------------------------
 
     def _plan_find(self, spec: FindSpec) -> QueryPlan:
+        indexes = self._live_indexes()
+        hint = spec.hint
+        if hint is not None and hint not in indexes and hint in self._indexes:
+            # The hinted index exists but is hidden (deferred by bulk_load or
+            # pending a build): plan without the hint rather than erroring.
+            hint = None
         return plan_find(
             spec.filter,
             spec.sort,
-            self._indexes,
+            indexes,
             len(self._documents),
-            hint=spec.hint,
+            hint=hint,
             fetch_bound=spec.fetch_bound,
         )
 
@@ -448,12 +624,13 @@ class Collection:
         predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         touched_paths = self._paths_touched_by_update(update)
+        maintained = [index for _name, index in self._maintained_index_items()]
         if touched_paths is None:
-            affected_indexes = list(self._indexes.values())
+            affected_indexes = maintained
         else:
             affected_indexes = [
                 index
-                for index in self._indexes.values()
+                for index in maintained
                 if self._index_overlaps_paths(index, touched_paths)
             ]
             # Operator updates carry their new values in the update document;
@@ -483,6 +660,8 @@ class Collection:
                     index.replace(document, new_document, doc_id)
                 self._documents[doc_id] = new_document
                 modified += 1
+                if self._defer_secondary_indexes:
+                    self._deferred_writes = True
             if not multi:
                 break
         upserted_id = None
@@ -540,10 +719,12 @@ class Collection:
             document = self._documents.get(doc_id)
             if document is None or not predicate(document):
                 continue
-            for index in self._indexes.values():
+            for _name, index in self._maintained_index_items():
                 index.remove(document, doc_id)
             del self._documents[doc_id]
             deleted += 1
+            if self._defer_secondary_indexes:
+                self._deferred_writes = True
             if not multi:
                 break
         self.operation_counters["deletes"] += 1
@@ -563,6 +744,8 @@ class Collection:
         for index in self._indexes.values():
             index.clear()
         self._indexes = {"_id_": self._id_index}
+        self._pending_index_builds.clear()
+        self._deferred_writes = False
 
     # ----------------------------------------------------------- aggregation
 
@@ -595,7 +778,7 @@ class Collection:
         $match still re-filters them, so the result is unchanged.
         """
         if pipeline and isinstance(pipeline[0], Mapping) and "$match" in pipeline[0]:
-            plan = plan_query(pipeline[0]["$match"], self._indexes, len(self._documents))
+            plan = plan_query(pipeline[0]["$match"], self._live_indexes(), len(self._documents))
             if plan.stage == "IXSCAN" and plan.candidate_ids is not None:
                 source = (
                     self._documents[doc_id]

@@ -17,14 +17,23 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Mapping, Sequence  # fast isinstance in key extraction
+from typing import Any, Iterable, Iterator
 
 from .bson import encode_document
 from .errors import DuplicateKeyError, OperationFailure
 from .matching import compare_values, resolve_path
 from .ordering import OrderedValue
 
-__all__ = ["IndexSpec", "Index", "hashed_value", "ASCENDING", "DESCENDING", "HASHED"]
+__all__ = [
+    "IndexSpec",
+    "Index",
+    "BulkUndo",
+    "hashed_value",
+    "ASCENDING",
+    "DESCENDING",
+    "HASHED",
+]
 
 ASCENDING = 1
 DESCENDING = -1
@@ -177,6 +186,10 @@ class Index:
         keys: list[tuple[Any, ...]] = [()]
         for values in per_field_values:
             keys = [existing + (value,) for existing in keys for value in values]
+        if len(keys) == 1:
+            # No fan-out (the overwhelmingly common scalar case): nothing to
+            # deduplicate, skip the repr() round trip entirely.
+            return keys, order_safe
         # Deduplicate while keeping deterministic order.
         seen: set[str] = set()
         unique_keys = []
@@ -203,6 +216,115 @@ class Index:
             self._entries.insert(position, (key, doc_id))
             if not order_safe:
                 self._order_unsafe_entries += 1
+
+    def _prepare_batch(
+        self, documents: Iterable[tuple[int, Mapping[str, Any]]]
+    ) -> list[tuple[tuple[_OrderedKey, ...], tuple[Any, ...], int, bool]]:
+        """Extract and sort every entry a batch of documents produces.
+
+        Returns ``(ordered_key, raw_key, doc_id, order_safe)`` tuples sorted
+        by ordered key.  The sort is stable, so entries with equal keys keep
+        batch order — the same relative order sequential :meth:`insert`
+        (``bisect_right``) produces.
+        """
+        additions = []
+        for doc_id, document in documents:
+            keys, order_safe = self._expand_keys(document)
+            for key in keys:
+                additions.append((_ordered_tuple(key), key, doc_id, order_safe))
+        additions.sort(key=lambda entry: entry[0])
+        return additions
+
+    def _check_batch_unique(
+        self,
+        additions: list[tuple[tuple[_OrderedKey, ...], tuple[Any, ...], int, bool]],
+    ) -> None:
+        """Raise on adjacent duplicate keys in a sorted batch (unique indexes)."""
+        if not self.spec.unique:
+            return
+        previous: tuple[_OrderedKey, ...] | None = None
+        for ordered, key, _doc_id, _safe in additions:
+            if previous is not None and ordered == previous:
+                raise DuplicateKeyError(self.spec.name, key)
+            previous = ordered
+
+    def bulk_insert(self, documents: Iterable[tuple[int, Mapping[str, Any]]]) -> "BulkUndo":
+        """Index a whole batch in one pass; returns a rollback handle.
+
+        The batch's keys are extracted and sorted once, then merged with the
+        existing sorted arrays — O(n + m) for n new keys over m existing
+        entries, instead of n binary searches each followed by an O(m)
+        ``list.insert``.  Unique violations (within the batch or against
+        existing entries) are detected during the merge and raise *before*
+        the index is modified, so a failed ``bulk_insert`` leaves the index
+        untouched.
+        """
+        additions = self._prepare_batch(documents)
+        if not additions:
+            return BulkUndo(self, truncate_to=len(self._entries))
+        self._check_batch_unique(additions)
+        unsafe = sum(1 for entry in additions if not entry[3])
+        if not self._keys or not additions[0][0] < self._keys[-1]:
+            # Append fast path: the whole batch sorts at or after the last
+            # existing key (sequential loads into the _id index always land
+            # here), so no merge — and no array copy — is needed.
+            if self.spec.unique and self._keys and self._keys[-1] == additions[0][0]:
+                raise DuplicateKeyError(self.spec.name, additions[0][1])
+            undo = BulkUndo(self, truncate_to=len(self._entries), unsafe=unsafe)
+            self._keys.extend(entry[0] for entry in additions)
+            self._entries.extend((entry[1], entry[2]) for entry in additions)
+            self._order_unsafe_entries += unsafe
+            return undo
+        merged_keys, merged_entries = self._merge_sorted(additions)
+        undo = BulkUndo(
+            self,
+            keys=self._keys,
+            entries=self._entries,
+            unsafe=self._order_unsafe_entries,
+        )
+        self._keys = merged_keys
+        self._entries = merged_entries
+        self._order_unsafe_entries += unsafe
+        return undo
+
+    def _merge_sorted(
+        self,
+        additions: list[tuple[tuple[_OrderedKey, ...], tuple[Any, ...], int, bool]],
+    ) -> tuple[list[tuple[_OrderedKey, ...]], list[tuple[tuple[Any, ...], int]]]:
+        """Two-pointer merge of sorted *additions* into new key/entry arrays."""
+        unique = self.spec.unique
+        old_keys, old_entries = self._keys, self._entries
+        keys: list[tuple[_OrderedKey, ...]] = []
+        entries: list[tuple[tuple[Any, ...], int]] = []
+        position = 0
+        total = len(old_keys)
+        for ordered, key, doc_id, _safe in additions:
+            # Equal existing keys are copied first (bisect_right semantics).
+            while position < total and not ordered < old_keys[position]:
+                if unique and old_keys[position] == ordered:
+                    raise DuplicateKeyError(self.spec.name, key)
+                keys.append(old_keys[position])
+                entries.append(old_entries[position])
+                position += 1
+            keys.append(ordered)
+            entries.append((key, doc_id))
+        keys.extend(old_keys[position:])
+        entries.extend(old_entries[position:])
+        return keys, entries
+
+    def rebuild(self, documents: Iterable[tuple[int, Mapping[str, Any]]]) -> None:
+        """Rebuild the index from scratch with a single sort.
+
+        Used for deferred index builds (``create_index`` over a populated
+        collection and ``bulk_load`` exit): one key extraction pass and one
+        sort replace per-document ``list.insert`` maintenance.  Unique
+        violations raise before the old entries are replaced.
+        """
+        additions = self._prepare_batch(documents)
+        self._check_batch_unique(additions)
+        self._keys = [entry[0] for entry in additions]
+        self._entries = [(entry[1], entry[2]) for entry in additions]
+        self._order_unsafe_entries = sum(1 for entry in additions if not entry[3])
 
     def remove(self, document: Mapping[str, Any], doc_id: int) -> None:
         """Remove the entries of *document* stored under *doc_id*."""
@@ -337,6 +459,48 @@ class Index:
                 distinct.append(first)
                 previous = first
         return distinct
+
+
+class BulkUndo:
+    """Rollback handle for one :meth:`Index.bulk_insert` call.
+
+    A bulk insert that took the append fast path is undone by truncating the
+    arrays back to their previous length; a merge is undone by restoring the
+    previous array objects (the merge builds new lists, so the old ones stay
+    valid).  Collections use this to remove a batch from every
+    already-updated index when a later index raises a unique violation.
+    """
+
+    __slots__ = ("_index", "_keys", "_entries", "_unsafe", "_truncate_to")
+
+    def __init__(
+        self,
+        index: Index,
+        *,
+        keys: list | None = None,
+        entries: list | None = None,
+        unsafe: int = 0,
+        truncate_to: int | None = None,
+    ) -> None:
+        self._index = index
+        self._keys = keys
+        self._entries = entries
+        #: Truncate mode: the unsafe-entry count *added* by the bulk insert.
+        #: Swap mode: the unsafe-entry count *before* the bulk insert.
+        self._unsafe = unsafe
+        self._truncate_to = truncate_to
+
+    def rollback(self) -> None:
+        """Restore the index to its state before the bulk insert."""
+        index = self._index
+        if self._truncate_to is not None:
+            del index._keys[self._truncate_to:]
+            del index._entries[self._truncate_to:]
+            index._order_unsafe_entries -= self._unsafe
+        else:
+            index._keys = self._keys
+            index._entries = self._entries
+            index._order_unsafe_entries = self._unsafe
 
 
 class _Max:

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import datetime as _dt
 import re
-from typing import Any, Callable, Iterable, Mapping, Sequence
+# Mapping/Sequence come from collections.abc: isinstance() against the
+# typing aliases pays a slow __instancecheck__ on every call, and these
+# checks sit on the per-document hot path of the matcher and the indexes.
+from collections.abc import Mapping, Sequence
+from typing import Any, Callable, Iterable
 
 from .errors import InvalidOperator, OperationFailure
 from .objectid import ObjectId

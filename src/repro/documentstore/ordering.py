@@ -30,10 +30,19 @@ class OrderedValue:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, OrderedValue):
             return NotImplemented
-        return compare_values(self.value, other.value) == 0
+        left, right = self.value, other.value
+        if type(left) is type(right) and type(left) in (int, float, str):
+            return left == right
+        return compare_values(left, right) == 0
 
     def __lt__(self, other: "OrderedValue") -> bool:
-        return compare_values(self.value, other.value) < 0
+        # Exact-type fast path: index keys are overwhelmingly same-typed
+        # ints/strings, and sorting 100k-entry batches calls this millions
+        # of times (bool is excluded — type() is exact).
+        left, right = self.value, other.value
+        if type(left) is type(right) and type(left) in (int, float, str):
+            return left < right
+        return compare_values(left, right) < 0
 
     def __le__(self, other: "OrderedValue") -> bool:
         return compare_values(self.value, other.value) <= 0
@@ -54,7 +63,10 @@ class _ReversedValue(OrderedValue):
     __slots__ = ()
 
     def __lt__(self, other: "OrderedValue") -> bool:
-        return compare_values(self.value, other.value) > 0
+        left, right = self.value, other.value
+        if type(left) is type(right) and type(left) in (int, float, str):
+            return right < left
+        return compare_values(left, right) > 0
 
     def __le__(self, other: "OrderedValue") -> bool:
         return compare_values(self.value, other.value) >= 0

@@ -13,7 +13,7 @@ import pathlib
 from typing import Any, Iterable
 
 from .bson import decode_document, encode_document
-from .collection import Collection
+from .collection import Collection, bulk_load_or_noop
 from .database import Database
 
 __all__ = [
@@ -40,14 +40,22 @@ def dump_collection(collection: Collection, path: str | pathlib.Path) -> int:
     return count
 
 
-def load_collection(collection: Collection, path: str | pathlib.Path) -> int:
+def load_collection(
+    collection: Collection,
+    path: str | pathlib.Path,
+    *,
+    batch_size: int = 2000,
+) -> int:
     """Load JSON-lines documents from *path* into *collection*.
 
+    Batches ride the collection's bulk insert path, and secondary-index
+    maintenance is deferred for the whole load (``bulk_load``) when the
+    target supports it — routed collections simply take batched inserts.
     Returns the number of documents inserted.
     """
     source = pathlib.Path(path)
     count = 0
-    with source.open("rb") as handle:
+    with bulk_load_or_noop(collection), source.open("rb") as handle:
         batch: list[dict[str, Any]] = []
         for line in handle:
             line = line.strip()
@@ -55,7 +63,7 @@ def load_collection(collection: Collection, path: str | pathlib.Path) -> int:
                 continue
             batch.append(decode_document(line))
             count += 1
-            if len(batch) >= 1000:
+            if len(batch) >= batch_size:
                 collection.insert_many(batch)
                 batch = []
         if batch:

@@ -10,6 +10,7 @@ becomes a *jumbo* chunk (Figure 2.7).  This module implements those concepts.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -147,6 +148,14 @@ class Chunk:
         if len(self.key_samples) < self._MAX_SAMPLES:
             self.key_samples.append(key_value)
 
+    def record_inserts(self, key_values: Sequence[Any], total_bytes: int) -> None:
+        """Batch version of :meth:`record_insert`: one size/count update."""
+        self.document_count += len(key_values)
+        self.size_bytes += total_bytes
+        room = self._MAX_SAMPLES - len(self.key_samples)
+        if room > 0:
+            self.key_samples.extend(key_values[:room])
+
     def median_key(self) -> Any:
         """Return a split point candidate (median of sampled keys)."""
         if not self.key_samples:
@@ -242,6 +251,32 @@ class ChunkManager:
             f"no chunk covers shard key value {routing_value!r} in {self.namespace}"
         )
 
+    def route_batch(self, routing_values: Sequence[Any]) -> list[Chunk]:
+        """Map every routing value to its owning chunk in a single pass.
+
+        The chunk table is kept sorted by lower bound (splits replace a
+        chunk in place, migrations only change ownership), so the lower
+        bounds are wrapped as sort keys once and each value is located with
+        one ``bisect`` — O(n log c) for a batch of n documents over c
+        chunks, instead of the O(n·c) linear :meth:`chunk_for` scans the
+        per-document path pays.  Statistics are *not* recorded; callers
+        account the batch with :meth:`record_inserts` after the owning
+        shards acknowledged the inserts.
+        """
+        boundaries = [_BoundarySortKey(chunk.lower) for chunk in self.chunks]
+        resolved: list[Chunk] = []
+        for value in routing_values:
+            position = bisect.bisect_right(boundaries, _BoundarySortKey(value)) - 1
+            if position < 0:
+                raise ShardKeyError(
+                    f"no chunk covers shard key value {value!r} in {self.namespace}"
+                )
+            chunk = self.chunks[position]
+            if not chunk.contains(value):  # pragma: no cover - contiguity guard
+                chunk = self.chunk_for(value)
+            resolved.append(chunk)
+        return resolved
+
     def shard_for_value(self, raw_value: Any) -> str:
         """Return the shard owning the document with shard-key *raw_value*."""
         return self.chunk_for(self.shard_key.routing_value(raw_value)).shard_id
@@ -291,6 +326,25 @@ class ChunkManager:
             except ChunkSplitError:
                 chunk.jumbo = True
         return chunk
+
+    def record_inserts(
+        self, chunk: Chunk, routing_values: Sequence[Any], total_bytes: int
+    ) -> None:
+        """Account a batch of inserts routed to *chunk* with one size update.
+
+        A batch can push a chunk far past the split threshold in one go, so
+        splitting recurses until every resulting chunk fits (or is jumbo) —
+        matching what repeated per-document ``record_insert`` calls produce.
+        """
+        chunk.record_inserts(routing_values, total_bytes)
+        oversized = [chunk]
+        while oversized:
+            candidate = oversized.pop()
+            if candidate.size_bytes > self.chunk_size_bytes and not candidate.jumbo:
+                try:
+                    oversized.extend(self.split_chunk(candidate))
+                except ChunkSplitError:
+                    candidate.jumbo = True
 
     def split_chunk(self, chunk: Chunk, split_point: Any | None = None) -> tuple[Chunk, Chunk]:
         """Split *chunk* at *split_point* (default: median sampled key)."""

@@ -39,7 +39,7 @@ from ..documentstore.cursor import (
 from ..documentstore.findspec import FindSpec
 from ..documentstore.objectid import ObjectId
 from ..documentstore.ordering import document_sort_key
-from .chunks import ChunkManager
+from .chunks import Chunk, ChunkManager
 from .config_server import ConfigServer
 from .network import SimulatedNetwork
 from .shard import Shard
@@ -304,53 +304,77 @@ class QueryRouter:
         collection_name: str,
         documents: Iterable[Mapping[str, Any]],
     ) -> InsertManyResult:
-        """Route a batch insert, splitting the batch by owning shard."""
+        """Route a whole insert batch in a single pass and one fan-out.
+
+        The batch is routed against pre-sorted chunk boundaries (one bisect
+        per document instead of a linear chunk scan), shipped with one
+        message per owning shard, and executed through the scatter machinery
+        in a single fan-out.  Chunk statistics are recorded only after every
+        target shard acknowledged its insert, so a failed insert cannot
+        permanently skew the chunk table (and through it the balancer).
+        """
         prepared: list[dict[str, Any]] = []
         for document in documents:
             doc = dict(document)
             doc.setdefault("_id", ObjectId())
             prepared.append(doc)
+        if not prepared:
+            return InsertManyResult(inserted_ids=[])
 
         sharded = self.config.is_sharded(database_name, collection_name)
         batches: dict[str, list[dict[str, Any]]] = {}
+        chunk_by_id: dict[int, Chunk] = {}
+        values_by_chunk: dict[int, list[Any]] = {}
+        bytes_by_chunk: dict[int, int] = {}
+        manager = None
         if sharded:
             manager = self.config.chunk_manager(database_name, collection_name)
-            for doc in prepared:
-                routing_value = manager.shard_key.extract(doc)
-                chunk = manager.record_insert(routing_value, document_size(doc))
+            routing_values = [manager.shard_key.extract(doc) for doc in prepared]
+            for doc, value, chunk in zip(
+                prepared, routing_values, manager.route_batch(routing_values)
+            ):
                 batches.setdefault(chunk.shard_id, []).append(doc)
+                key = id(chunk)
+                chunk_by_id[key] = chunk
+                values_by_chunk.setdefault(key, []).append(value)
+                bytes_by_chunk[key] = bytes_by_chunk.get(key, 0) + document_size(doc)
         else:
             primary = self.config.primary_shard(database_name)
             batches[primary] = prepared
 
-        inserted_ids: list[Any] = []
+        shipped: dict[str, list[dict[str, Any]]] = {}
+        network_seconds_before = self.network.stats.simulated_seconds
         for shard_id, batch in batches.items():
-            network_seconds_before = self.network.stats.simulated_seconds
-            shipped = self.network.ship_documents(
+            shipped[shard_id] = self.network.ship_documents(
                 batch,
                 source=self.name,
                 destination=shard_id,
                 purpose="insert:request",
             )
-            self.metrics.network_seconds += (
-                self.network.stats.simulated_seconds - network_seconds_before
+        self.metrics.network_seconds += (
+            self.network.stats.simulated_seconds - network_seconds_before
+        )
+
+        def do_insert(shard: Shard) -> Any:
+            return shard.collection(database_name, collection_name).insert_many(
+                shipped[shard.shard_id]
             )
 
-            def do_insert(shard: Shard, docs=shipped) -> Any:
-                return shard.collection(database_name, collection_name).insert_many(docs)
-
-            results = self._scatter(
-                database_name,
-                collection_name,
-                [shard_id],
-                {"insert": collection_name, "documents": len(batch)},
-                "insert",
-                do_insert,
-                ship_results=False,
-                targeted=True,
-            )
-            inserted_ids.extend(results[shard_id].inserted_ids)
-        return InsertManyResult(inserted_ids=inserted_ids)
+        targets = sorted(batches)
+        self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"insert": collection_name, "documents": len(prepared)},
+            "insert",
+            do_insert,
+            ship_results=False,
+            targeted=not sharded or len(targets) < len(self.config.shard_ids),
+        )
+        if manager is not None:
+            for key, chunk in chunk_by_id.items():
+                manager.record_inserts(chunk, values_by_chunk[key], bytes_by_chunk[key])
+        return InsertManyResult(inserted_ids=[doc["_id"] for doc in prepared])
 
     def insert_one(
         self,

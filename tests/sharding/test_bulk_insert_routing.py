@@ -1,0 +1,148 @@
+"""Tests for single-pass batch routing of inserts through the query router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documentstore import Collection, DuplicateKeyError
+from repro.sharding import ShardedCluster
+from repro.sharding.chunks import ChunkManager, ShardKeyPattern
+
+
+def make_cluster(shard_key) -> ShardedCluster:
+    cluster = ShardedCluster(shard_count=3)
+    cluster.enable_sharding("db")
+    cluster.shard_collection("db", "items", shard_key)
+    return cluster
+
+
+def documents(count: int = 240) -> list[dict]:
+    return [{"_id": i, "k": i, "store": i % 9, "pad": "x" * 32} for i in range(count)]
+
+
+class TestBatchRoutingParity:
+    @pytest.mark.parametrize(
+        "shard_key", [{"k": "hashed"}, {"k": 1}], ids=["hashed", "range"]
+    )
+    def test_sharded_load_matches_standalone(self, shard_key):
+        cluster = make_cluster(shard_key)
+        routed = cluster.get_database("db")["items"]
+        routed.insert_many(documents())
+
+        standalone = Collection(None, "items")
+        standalone.insert_many(documents())
+
+        routed_docs = sorted(routed.find({}).to_list(), key=lambda d: d["_id"])
+        local_docs = sorted(standalone.find({}).to_list(), key=lambda d: d["_id"])
+        assert routed_docs == local_docs
+
+    def test_inserted_ids_preserve_batch_order(self):
+        cluster = make_cluster({"k": "hashed"})
+        routed = cluster.get_database("db")["items"]
+        result = routed.insert_many(documents(50))
+        assert result.inserted_ids == list(range(50))
+
+    def test_route_batch_matches_chunk_for(self):
+        manager = ChunkManager(
+            "db.items", ShardKeyPattern.create({"k": "hashed"}), ["s1", "s2", "s3"]
+        )
+        pattern = manager.shard_key
+        values = [pattern.routing_value(i) for i in range(300)]
+        batch_chunks = manager.route_batch(values)
+        for value, chunk in zip(values, batch_chunks):
+            assert manager.chunk_for(value) is chunk
+
+    def test_route_batch_after_splits_and_migrations(self):
+        manager = ChunkManager(
+            "db.items",
+            ShardKeyPattern.create({"k": 1}),
+            ["s1", "s2"],
+            chunk_size_bytes=500,
+        )
+        for i in range(200):
+            manager.record_insert(i, 50)
+        manager.move_chunk(manager.chunks[0], "s2")
+        values = list(range(0, 200, 7))
+        for value, chunk in zip(values, manager.route_batch(values)):
+            assert manager.chunk_for(value) is chunk
+
+
+class TestSingleFanOut:
+    def test_one_operation_and_one_shipment_per_shard(self):
+        cluster = make_cluster({"k": "hashed"})
+        cluster.reset_metrics()
+        routed = cluster.get_database("db")["items"]
+        routed.insert_many(documents(120))
+        metrics = cluster.router.metrics
+        # One routed operation for the whole batch (not one per shard).
+        assert metrics.operations == 1
+        assert metrics.shards_contacted == cluster.shard_count
+        # One document shipment per contacted shard.
+        by_purpose = cluster.network.stats.by_purpose
+        shipments = by_purpose.get("insert:request", 0)
+        # Each shard receives one batch message plus one command envelope.
+        assert shipments == 2 * cluster.shard_count
+        assert by_purpose.get("insert:ack", 0) == cluster.shard_count
+
+    def test_unsharded_batch_is_one_targeted_operation(self):
+        cluster = ShardedCluster(shard_count=3)
+        cluster.enable_sharding("plain")
+        cluster.reset_metrics()
+        collection = cluster.get_database("plain")["events"]
+        collection.insert_many([{"n": i} for i in range(25)])
+        metrics = cluster.router.metrics
+        assert metrics.operations == 1
+        assert metrics.targeted_operations == 1
+        assert metrics.shards_contacted == 1
+
+
+class TestChunkAccounting:
+    def test_chunk_statistics_recorded_after_ack(self):
+        cluster = make_cluster({"k": 1})
+        routed = cluster.get_database("db")["items"]
+        routed.insert_many(documents(100))
+        manager = cluster.config_server.chunk_manager("db", "items")
+        assert sum(chunk.document_count for chunk in manager.chunks) == 100
+        assert sum(chunk.size_bytes for chunk in manager.chunks) > 0
+
+    def test_failed_insert_does_not_skew_chunk_statistics(self):
+        # Regression: chunk sizes used to be recorded while routing, before
+        # the shard executed the insert, so a failed insert permanently
+        # inflated the chunk table (and misled the balancer).
+        cluster = make_cluster({"k": 1})
+        routed = cluster.get_database("db")["items"]
+        routed.insert_many(documents(20))
+        manager = cluster.config_server.chunk_manager("db", "items")
+        counts_before = [chunk.document_count for chunk in manager.chunks]
+        sizes_before = [chunk.size_bytes for chunk in manager.chunks]
+        with pytest.raises(DuplicateKeyError):
+            routed.insert_many([{"_id": 5, "k": 5}])  # duplicate _id on the shard
+        assert [chunk.document_count for chunk in manager.chunks] == counts_before
+        assert [chunk.size_bytes for chunk in manager.chunks] == sizes_before
+
+    def test_oversized_batch_splits_chunks_recursively(self):
+        cluster = ShardedCluster(shard_count=2)
+        cluster.enable_sharding("db")
+        cluster.shard_collection(
+            "db", "items", {"k": 1}, chunk_size_bytes=2_000, initial_chunks_per_shard=1
+        )
+        routed = cluster.get_database("db")["items"]
+        routed.insert_many(documents(240))  # ~70 bytes each, far beyond one chunk
+        manager = cluster.config_server.chunk_manager("db", "items")
+        assert len(manager.chunks) > 2
+        assert all(
+            chunk.size_bytes <= 2_000 or chunk.jumbo for chunk in manager.chunks
+        )
+        # The split chunks still cover the whole key space contiguously.
+        for left, right in zip(manager.chunks, manager.chunks[1:]):
+            assert left.upper is right.lower or left.upper == right.lower
+
+    def test_shard_key_missing_rejects_batch_before_recording(self):
+        cluster = make_cluster({"k": 1})
+        routed = cluster.get_database("db")["items"]
+        from repro.documentstore import ShardKeyError
+
+        with pytest.raises(ShardKeyError):
+            routed.insert_many([{"k": 1}, {"no_key": True}])
+        manager = cluster.config_server.chunk_manager("db", "items")
+        assert sum(chunk.document_count for chunk in manager.chunks) == 0
