@@ -17,12 +17,16 @@ sharded cluster — the future-work configuration of Section 5.2.
 Timing model
 ------------
 Stand-alone experiments report measured wall time.  Sharded experiments run
-in the same process, so their measured wall time is corrected by the router's
-cost model (see :class:`repro.sharding.router.RouterMetrics`): per-shard
-execution is replaced by the per-operation maximum across shards scaled by
-the shard ``cpu_factor`` (the paper's stand-alone machine is an m4.4xlarge
-while shard nodes are t2.large / m4.xlarge), and every routed message adds
-simulated network latency and transfer time.
+in one process with the router's scatter fan-outs executing *concurrently*
+(worker threads, see :mod:`repro.sharding.executor`); their measured wall
+time is corrected by the router's cost model (see
+:class:`repro.sharding.router.RouterMetrics`): the **observed** concurrent
+execution window of each fan-out (``parallel_shard_seconds``, a measured
+wall-clock makespan) is replaced by the **modelled** cluster makespan —
+the per-operation maximum across shards scaled by the shard ``cpu_factor``
+(the paper's stand-alone machine is an m4.4xlarge while shard nodes are
+t2.large / m4.xlarge) — and every routed message adds simulated network
+latency and transfer time.
 """
 
 from __future__ import annotations

@@ -19,7 +19,13 @@ from .chunks import (
 )
 from .cluster import ShardedCluster
 from .config_server import ConfigServer
-from .network import NetworkModel, NetworkStats, SimulatedNetwork
+from .executor import (
+    EXECUTOR_MODES,
+    ScatterPolicy,
+    ScatterRunner,
+    ShardTimeoutError,
+)
+from .network import NetworkChannel, NetworkModel, NetworkStats, SimulatedNetwork
 from .planning import (
     ClusterSizingInputs,
     SHARDING_OVERHEAD,
@@ -40,11 +46,13 @@ __all__ = [
     "ClusterSizingInputs",
     "ConfigServer",
     "DEFAULT_CHUNK_SIZE_BYTES",
+    "EXECUTOR_MODES",
     "MAX_KEY",
     "MIN_KEY",
     "MaxKey",
     "MigrationRecord",
     "MinKey",
+    "NetworkChannel",
     "NetworkModel",
     "NetworkStats",
     "QueryRouter",
@@ -52,9 +60,12 @@ __all__ = [
     "RoutedDatabase",
     "RouterMetrics",
     "SHARDING_OVERHEAD",
+    "ScatterPolicy",
+    "ScatterRunner",
     "Shard",
     "ShardDescription",
     "ShardKeyPattern",
+    "ShardTimeoutError",
     "ShardedCluster",
     "SimulatedNetwork",
     "recommend_shard_count",

@@ -15,6 +15,7 @@ from typing import Any, Mapping, Sequence
 from .balancer import Balancer
 from .chunks import ChunkManager
 from .config_server import ConfigServer
+from .executor import ScatterPolicy
 from .network import NetworkModel, SimulatedNetwork
 from .router import QueryRouter, RoutedDatabase
 from .shard import Shard, ShardDescription
@@ -23,7 +24,16 @@ __all__ = ["ShardedCluster"]
 
 
 class ShardedCluster:
-    """A complete sharded deployment (shards + config server + router)."""
+    """A complete sharded deployment (shards + config server + router).
+
+    ``executor_mode`` selects how the router executes scatter fan-outs:
+    ``"thread"`` (default) dispatches every target shard concurrently on a
+    worker-thread pool, ``"serial"`` keeps the sequential one-shard-at-a-time
+    baseline, and ``"process"`` additionally runs eligible read scans in a
+    forked process pool (see :mod:`repro.sharding.executor`).
+    ``scatter_policy`` sets the default per-operation deadline and timeout
+    policy for every routed operation.
+    """
 
     def __init__(
         self,
@@ -32,6 +42,9 @@ class ShardedCluster:
         shard_descriptions: Sequence[ShardDescription] | None = None,
         network_model: NetworkModel | None = None,
         name: str = "cluster",
+        executor_mode: str = "thread",
+        max_workers: int | None = None,
+        scatter_policy: ScatterPolicy | None = None,
     ) -> None:
         if shard_descriptions is not None:
             descriptions = list(shard_descriptions)
@@ -50,7 +63,14 @@ class ShardedCluster:
             shard = Shard(description.shard_id, description)
             self.shards.append(shard)
             self.config_server.add_shard(shard.shard_id)
-        self.router = QueryRouter(self.config_server, self.shards, self.network)
+        self.router = QueryRouter(
+            self.config_server,
+            self.shards,
+            self.network,
+            executor_mode=executor_mode,
+            max_workers=max_workers,
+            scatter_policy=scatter_policy,
+        )
         self.balancer = Balancer(
             self.config_server,
             {shard.shard_id: shard for shard in self.shards},
@@ -118,6 +138,16 @@ class ShardedCluster:
     def reset_metrics(self) -> None:
         """Clear router/network/shard accounting before a measurement."""
         self.router.reset_metrics()
+
+    def close(self) -> None:
+        """Shut down the router's scatter worker pool."""
+        self.router.close()
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------- reports
 

@@ -12,16 +12,42 @@ process; this module makes the cost of crossing a node boundary explicit:
 * a :class:`NetworkModel` converts the message log into *simulated* elapsed
   seconds, so experiment results can separate computation from communication
   the same way the paper's observations do (Section 4.3, observation ii/iii).
+
+Concurrency
+-----------
+The router's scatter-gather executes every shard branch on its own worker
+(:mod:`repro.sharding.executor`).  Workers never touch the shared
+:class:`SimulatedNetwork` directly: each branch opens a private, lock-free
+:class:`NetworkChannel`, accumulates its messages there, and the router
+merges the channels back into the shared network at gather time — in
+deterministic target order, so traffic totals and the message log are
+identical to a sequential execution.  The shared object itself is also
+thread-safe (a lock guards ``send``/``absorb``) for direct users such as the
+balancer.
+
+``NetworkModel(realtime=True)`` additionally makes every message *really*
+wait for its simulated duration.  This emulates the paper's machine
+boundaries in real time: per-shard network waits become genuine wall-clock
+waits that concurrent shard branches overlap, which is how the parallel
+scatter benchmark demonstrates makespan ≈ max-of-shards on a single host.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..documentstore.bson import decode_batch, encode_batch
 
-__all__ = ["NetworkModel", "NetworkMessage", "NetworkStats", "SimulatedNetwork"]
+__all__ = [
+    "NetworkModel",
+    "NetworkMessage",
+    "NetworkStats",
+    "NetworkChannel",
+    "SimulatedNetwork",
+]
 
 
 @dataclass(frozen=True)
@@ -30,10 +56,16 @@ class NetworkModel:
 
     The defaults approximate a same-availability-zone cloud network: 0.5 ms
     round-trip latency per message and 1 Gbit/s of usable bandwidth.
+
+    ``realtime=True`` turns the model from pure accounting into real-time
+    emulation: every message sleeps for its simulated duration, so routed
+    operations pay their network cost in wall-clock time (and concurrent
+    shard branches can genuinely overlap those waits).
     """
 
     latency_seconds: float = 0.0005
     bandwidth_bytes_per_second: float = 125_000_000.0
+    realtime: bool = False
 
     def transfer_seconds(self, payload_bytes: int) -> float:
         """Simulated seconds needed to move *payload_bytes* over the wire."""
@@ -71,6 +103,14 @@ class NetworkStats:
         self.simulated_seconds += seconds
         self.by_purpose[message.purpose] = self.by_purpose.get(message.purpose, 0) + 1
 
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another accumulator into this one (used at gather time)."""
+        self.messages += other.messages
+        self.bytes_transferred += other.bytes_transferred
+        self.simulated_seconds += other.simulated_seconds
+        for purpose, count in other.by_purpose.items():
+            self.by_purpose[purpose] = self.by_purpose.get(purpose, 0) + count
+
     def snapshot(self) -> dict[str, Any]:
         """Return the statistics as a plain dictionary."""
         return {
@@ -81,13 +121,13 @@ class NetworkStats:
         }
 
 
-class SimulatedNetwork:
-    """Message accounting plus real (de)serialization at node boundaries."""
+class _Endpoint:
+    """Shared message API of the network and its per-worker channels."""
 
-    def __init__(self, model: NetworkModel | None = None) -> None:
-        self.model = model or NetworkModel()
-        self.stats = NetworkStats()
-        self._log: list[NetworkMessage] = []
+    model: NetworkModel
+
+    def _record(self, message: NetworkMessage, seconds: float) -> None:
+        raise NotImplementedError
 
     # -- raw accounting ------------------------------------------------------
 
@@ -95,8 +135,9 @@ class SimulatedNetwork:
         """Account for one message and return its simulated duration."""
         message = NetworkMessage(source, destination, purpose, payload_bytes)
         seconds = self.model.message_seconds(payload_bytes)
-        self.stats.record(message, seconds)
-        self._log.append(message)
+        if self.model.realtime:
+            time.sleep(seconds)
+        self._record(message, seconds)
         return seconds
 
     # -- document transfer ----------------------------------------------------
@@ -131,14 +172,67 @@ class SimulatedNetwork:
         payload = encode_batch([command or {}])
         return self.send(source, destination, purpose, len(payload))
 
+
+class NetworkChannel(_Endpoint):
+    """Lock-free per-worker traffic accumulator.
+
+    A scatter worker records its branch's messages here without touching any
+    shared state; the router absorbs the channel into the shared
+    :class:`SimulatedNetwork` at gather time (in deterministic target order),
+    so totals match a sequential execution exactly.
+    """
+
+    def __init__(self, model: NetworkModel) -> None:
+        self.model = model
+        self.stats = NetworkStats()
+        self.messages: list[NetworkMessage] = []
+
+    def _record(self, message: NetworkMessage, seconds: float) -> None:
+        self.stats.record(message, seconds)
+        self.messages.append(message)
+
+
+class SimulatedNetwork(_Endpoint):
+    """Message accounting plus real (de)serialization at node boundaries.
+
+    Thread-safe: direct sends and channel absorption are serialized by an
+    internal lock, so concurrent scatter branches (and client threads) can
+    never corrupt the statistics or the message log.
+    """
+
+    def __init__(self, model: NetworkModel | None = None) -> None:
+        self.model = model or NetworkModel()
+        self.stats = NetworkStats()
+        self._log: list[NetworkMessage] = []
+        self._lock = threading.Lock()
+
+    def _record(self, message: NetworkMessage, seconds: float) -> None:
+        with self._lock:
+            self.stats.record(message, seconds)
+            self._log.append(message)
+
+    # -- per-worker channels ---------------------------------------------------
+
+    def channel(self) -> NetworkChannel:
+        """Open a private accumulator for one scatter branch."""
+        return NetworkChannel(self.model)
+
+    def absorb(self, channel: NetworkChannel) -> None:
+        """Merge a branch channel's traffic into the shared log and stats."""
+        with self._lock:
+            self.stats.merge(channel.stats)
+            self._log.extend(channel.messages)
+
     # -- introspection --------------------------------------------------------
 
     @property
     def log(self) -> list[NetworkMessage]:
         """The full message log (copy)."""
-        return list(self._log)
+        with self._lock:
+            return list(self._log)
 
     def reset(self) -> None:
         """Clear statistics and the message log."""
-        self.stats = NetworkStats()
-        self._log.clear()
+        with self._lock:
+            self.stats = NetworkStats()
+            self._log.clear()

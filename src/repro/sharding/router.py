@@ -6,25 +6,32 @@ deployment (Figure 3.1).  For every operation it:
 1. consults the config server to find the target shards — one shard when the
    query contains the shard key (*targeted*), every shard otherwise
    (*broadcast*, the expensive case called out in Section 4.3);
-2. sends the command over the simulated network, executes it on each target
-   shard, and ships the per-shard results back;
-3. merges the partial results (and, for aggregation, runs the merge part of
-   the pipeline) before answering the client.
+2. dispatches the command to **every target shard simultaneously** through
+   the cluster's :class:`~repro.sharding.executor.ScatterRunner` (worker
+   threads by default, an opt-in forked process pool for CPU-bound read
+   scans, or an inline serial mode kept as the measurable baseline);
+3. gathers the per-shard results — streaming them for ``find``, so the
+   k-way merge starts before the slowest shard finishes — and merges them
+   (and, for aggregation, runs the merge part of the pipeline) before
+   answering the client.
 
-Execution on the shards is timed individually; the router combines the
-timings under a parallel-execution model (shards work concurrently, so an
-operation costs the *maximum* of its per-shard times plus network and merge
-overhead).  This keeps the reproduction single-process while preserving the
-performance shape of the paper's cluster.
+Every scatter is subject to the router's :class:`ScatterPolicy`: per-shard
+deadlines with cooperative cancellation, raising a structured
+:class:`ShardTimeoutError` or returning partial results from the responsive
+shards.  Per-branch traffic is accounted on private network channels merged
+back in deterministic target order, so metric totals are identical to a
+sequential execution — and ``RouterMetrics.parallel_shard_seconds`` is the
+*observed* wall-clock makespan of each fan-out, not an estimate.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..documentstore.aggregation import run_pipeline, split_pipeline_for_shards
 from ..documentstore.bson import document_size
@@ -41,56 +48,106 @@ from ..documentstore.objectid import ObjectId
 from ..documentstore.ordering import document_sort_key
 from .chunks import Chunk, ChunkManager
 from .config_server import ConfigServer
+from .executor import (
+    FirstMatchClaim,
+    RemoteOperation,
+    ScatterOutcome,
+    ScatterPending,
+    ScatterPolicy,
+    ScatterRunner,
+    ShardTimeoutError,
+    StreamGather,
+)
 from .network import SimulatedNetwork
 from .shard import Shard
 
-__all__ = ["QueryRouter", "RoutedDatabase", "RoutedCollection", "RouterMetrics"]
+__all__ = [
+    "QueryRouter",
+    "RoutedDatabase",
+    "RoutedCollection",
+    "RouterMetrics",
+    "ScatterPolicy",
+    "ShardTimeoutError",
+]
 
 
 @dataclass
 class RouterMetrics:
     """Cost accounting for routed operations.
 
-    Execution inside the reproduction is single-process, so the wall time of
-    a routed workload already contains the *sum* of all per-shard execution
-    time.  To recover the elapsed time the paper's cluster would observe, the
-    experiment harness combines these counters with the measured wall time:
+    Two of these counters are independent *real measurements* of every
+    scatter fan-out (they were estimates before the concurrent execution
+    engine):
 
-    ``simulated elapsed = wall time - shard_seconds_total
-    + parallel_shard_seconds + network_seconds``
+    * ``shard_seconds_total`` — **sum of work**: per-shard execution seconds
+      added up across all branches of all operations.  This is the total
+      storage-engine busy time the cluster spent, regardless of overlap.
+    * ``parallel_shard_seconds`` — **observed makespan**: wall-clock seconds
+      from the first dispatch of each fan-out to its last branch completion,
+      summed over operations.  With truly concurrent branches this
+      approaches the per-operation *maximum* instead of the sum; the gap to
+      ``shard_seconds_total`` is the parallelism actually realized.
+    * ``modelled_parallel_seconds`` — the hardware model of the paper's
+      cluster: per-operation maximum of execution time scaled by each
+      shard's ``cpu_factor`` (weaker cluster nodes).  Used to translate
+      in-process measurements onto the paper's heterogeneous deployment.
 
-    where ``parallel_shard_seconds`` replaces the serialized per-shard
-    execution with the per-operation maximum (shards work in parallel),
-    scaled by each shard's ``cpu_factor`` (weaker cluster nodes), and
-    ``network_seconds`` adds the simulated round-trip latency and transfer
-    time of every message.
+    The experiment harness converts measured wall time into the elapsed time
+    the paper's cluster would observe via::
+
+        simulated elapsed = wall time - parallel_shard_seconds
+                          + modelled_parallel_seconds + network_seconds
+
+    i.e. the observed concurrent execution window is replaced by the
+    modelled one, and every routed message adds simulated round-trip latency
+    and transfer time.
     """
 
     operations: int = 0
     targeted_operations: int = 0
     broadcast_operations: int = 0
     router_seconds: float = 0.0
+    #: Sum-of-work: total per-shard execution seconds (see class docstring).
     shard_seconds_total: float = 0.0
+    #: Observed makespan: measured wall clock of the concurrent fan-outs.
     parallel_shard_seconds: float = 0.0
+    #: Modelled makespan: per-operation max of execution x ``cpu_factor``.
+    modelled_parallel_seconds: float = 0.0
     network_seconds: float = 0.0
     shards_contacted: int = 0
     #: Result items (documents or distinct values) shipped shard → router.
     documents_shipped: int = 0
     #: Serialized bytes of those shard → router result payloads.
     bytes_shipped: int = 0
+    #: Shard branches that missed their scatter deadline.
+    shards_timed_out: int = 0
+    #: Operations answered from a subset of shards (``"partial"`` policy).
+    partial_operations: int = 0
 
     def simulated_overhead_seconds(self) -> float:
         """Adjustment to add to measured wall time to get simulated elapsed time.
 
-        Negative values mean the modelled cluster is *faster* than the
-        single-process execution (parallel scan gains exceeded the network
-        and per-node slowdown costs) — the situation the paper observes for
-        the shard-key-targeted Query 50.
+        Replaces the observed concurrent execution window
+        (``parallel_shard_seconds``) with the modelled cluster makespan plus
+        network costs.  Negative values mean the modelled cluster is *faster*
+        than the in-process execution (parallel scan gains exceeded the
+        network and per-node slowdown costs) — the situation the paper
+        observes for the shard-key-targeted Query 50.
         """
-        return self.parallel_shard_seconds + self.network_seconds - self.shard_seconds_total
+        return (
+            self.modelled_parallel_seconds
+            + self.network_seconds
+            - self.parallel_shard_seconds
+        )
 
     def snapshot(self) -> dict[str, Any]:
-        """Return the metrics as a plain dictionary."""
+        """Return the metrics as a plain dictionary.
+
+        ``shard_seconds_total`` is sum-of-work across branches;
+        ``parallel_shard_seconds`` is the observed wall-clock makespan of the
+        concurrent fan-outs; ``modelled_parallel_seconds`` is the
+        cpu-factor-scaled per-operation maximum used by the cost model.
+        """
         return {
             "operations": self.operations,
             "targeted_operations": self.targeted_operations,
@@ -98,11 +155,14 @@ class RouterMetrics:
             "router_seconds": self.router_seconds,
             "shard_seconds_total": self.shard_seconds_total,
             "parallel_shard_seconds": self.parallel_shard_seconds,
+            "modelled_parallel_seconds": self.modelled_parallel_seconds,
             "network_seconds": self.network_seconds,
             "simulated_overhead_seconds": self.simulated_overhead_seconds(),
             "shards_contacted": self.shards_contacted,
             "documents_shipped": self.documents_shipped,
             "bytes_shipped": self.bytes_shipped,
+            "shards_timed_out": self.shards_timed_out,
+            "partial_operations": self.partial_operations,
         }
 
 
@@ -115,14 +175,30 @@ class QueryRouter:
         shards: Sequence[Shard],
         network: SimulatedNetwork | None = None,
         name: str = "mongos",
+        *,
+        executor_mode: str = "thread",
+        max_workers: int | None = None,
+        scatter_policy: ScatterPolicy | None = None,
     ) -> None:
         self.name = name
         self.config = config_server
         self.network = network or SimulatedNetwork()
         self._shards = {shard.shard_id: shard for shard in shards}
         self.metrics = RouterMetrics()
+        self.scatter_policy = scatter_policy or ScatterPolicy()
+        self._runner = ScatterRunner(executor_mode, max_workers, shards=self._shards)
+        self._metrics_lock = threading.Lock()
+        #: Per-shard timing breakdown of the most recent scatter (see
+        #: ``explain_find(execution_stats=True)``).  Debugging aid only —
+        #: concurrent client threads overwrite it.
+        self.last_scatter_report: dict[str, Any] | None = None
 
     # ------------------------------------------------------------ infrastructure
+
+    @property
+    def executor_mode(self) -> str:
+        """The scatter execution mode ("serial", "thread", or "process")."""
+        return self._runner.mode
 
     def shard(self, shard_id: str) -> Shard:
         """Return the shard object registered under *shard_id*."""
@@ -142,10 +218,15 @@ class QueryRouter:
 
     def reset_metrics(self) -> None:
         """Clear router metrics and network statistics."""
-        self.metrics = RouterMetrics()
+        with self._metrics_lock:
+            self.metrics = RouterMetrics()
         self.network.reset()
         for shard in self.shards:
             shard.reset_accounting()
+
+    def close(self) -> None:
+        """Shut down the scatter worker pool (and any forked snapshot pool)."""
+        self._runner.close()
 
     # --------------------------------------------------------------- target choice
 
@@ -216,6 +297,154 @@ class QueryRouter:
     #: expensive on the cluster (Section 4.3, observation ii).
     RESPONSE_BATCH_SIZE = 101
 
+    def _launch_scatter(
+        self,
+        targets: Sequence[str],
+        command: Mapping[str, Any] | None,
+        purpose: str,
+        shard_operation: Callable[[Shard], Any],
+        *,
+        ship_results: bool = True,
+        response_batch_size: int | None = None,
+        remote: Callable[[str], RemoteOperation] | None = None,
+        policy: ScatterPolicy | None = None,
+        stream: StreamGather | None = None,
+        is_write: bool = False,
+    ) -> ScatterPending:
+        """Dispatch *shard_operation* to every target simultaneously.
+
+        Each branch runs on a pool worker: it ships the request command,
+        executes the shard-local work (optionally in the forked process pool
+        for eligible reads), then serializes the result back in batches of
+        *response_batch_size* — pushing every decoded batch into *stream* as
+        it crosses the wire, when streaming.  All traffic lands on the
+        branch's private network channel; nothing shared is touched until
+        :meth:`_absorb_outcome`.
+        """
+        policy = policy or self.scatter_policy
+        if self._runner.mode == "process":
+            if is_write:
+                self._runner.invalidate_snapshot()
+            elif remote is not None:
+                self._runner.prepare_process_pool()
+        batch_size = response_batch_size or self.RESPONSE_BATCH_SIZE
+
+        def make_branch(shard_id: str) -> Callable[[Any], Any]:
+            shard = self._shards[shard_id]
+
+            def run(branch: Any) -> Any:
+                channel = self.network.channel()
+                branch.report.channel = channel
+                try:
+                    started = time.perf_counter()
+                    channel.ship_command(
+                        command,
+                        source=self.name,
+                        destination=shard_id,
+                        purpose=f"{purpose}:request",
+                    )
+                    branch.report.timing.dispatch_seconds = time.perf_counter() - started
+                    value, execute_seconds = self._runner.execute(
+                        shard_id,
+                        remote(shard_id) if remote is not None else None,
+                        lambda: shard.run(shard_operation, shard)[0],
+                    )
+                    branch.report.timing.execute_seconds = execute_seconds
+                    shipping_started = time.perf_counter()
+                    shipped_any = False
+                    if ship_results and isinstance(value, list) and value:
+                        unwrap = not all(isinstance(item, Mapping) for item in value)
+                        payload_docs: list[Mapping[str, Any]] = (
+                            [{"v": item} for item in value] if unwrap else value
+                        )
+                        received: list[dict[str, Any]] = []
+                        bytes_before = channel.stats.bytes_transferred
+                        for start in range(0, len(payload_docs), batch_size):
+                            if branch.cancelled.is_set():
+                                # Cooperative cancellation (deadline hit or
+                                # global limit satisfied): stop shipping.
+                                break
+                            decoded = channel.ship_documents(
+                                payload_docs[start:start + batch_size],
+                                source=shard_id,
+                                destination=self.name,
+                                purpose=f"{purpose}:response",
+                            )
+                            received.extend(decoded)
+                            if stream is not None:
+                                stream.put(shard_id, decoded)
+                        branch.report.items_shipped = len(received)
+                        branch.report.bytes_shipped = (
+                            channel.stats.bytes_transferred - bytes_before
+                        )
+                        shipped_any = True
+                        value = [doc["v"] for doc in received] if unwrap else received
+                    if not shipped_any:
+                        channel.ship_command(
+                            {"ok": 1},
+                            source=shard_id,
+                            destination=self.name,
+                            purpose=f"{purpose}:ack",
+                        )
+                    branch.report.timing.ship_seconds = (
+                        time.perf_counter() - shipping_started
+                    )
+                    return value
+                finally:
+                    if stream is not None:
+                        stream.finish(shard_id)
+
+            return run
+
+        return self._runner.launch(
+            purpose, [(shard_id, make_branch(shard_id)) for shard_id in targets], policy
+        )
+
+    def _absorb_outcome(self, outcome: ScatterOutcome, *, targeted: bool) -> None:
+        """Merge one gathered scatter into the shared accounting.
+
+        Channels are absorbed in deterministic target order under the metrics
+        lock, so totals (and the message log) are identical to a sequential
+        execution — exact even under concurrent client threads.  Timed-out
+        branches contribute nothing: their traffic and busy time stay on
+        their private channel, mirroring a response the router never read.
+        """
+        timings: dict[str, dict[str, float]] = {}
+        with self._metrics_lock:
+            metrics = self.metrics
+            modelled = 0.0
+            for report in outcome.reports:
+                shard = self._shards[report.shard_id]
+                if report.channel is not None:
+                    self.network.absorb(report.channel)
+                    metrics.network_seconds += report.channel.stats.simulated_seconds
+                shard.record_busy(report.timing.execute_seconds)
+                metrics.shard_seconds_total += report.timing.execute_seconds
+                metrics.documents_shipped += report.items_shipped
+                metrics.bytes_shipped += report.bytes_shipped
+                modelled = max(
+                    modelled,
+                    report.timing.execute_seconds * shard.description.cpu_factor,
+                )
+                timings[report.shard_id] = report.timing.snapshot()
+            metrics.operations += 1
+            metrics.shards_contacted += len(outcome.reports) + len(outcome.timed_out)
+            if targeted:
+                metrics.targeted_operations += 1
+            else:
+                metrics.broadcast_operations += 1
+            metrics.parallel_shard_seconds += outcome.makespan_seconds
+            metrics.modelled_parallel_seconds += max(modelled, 0.0)
+            if outcome.timed_out:
+                metrics.shards_timed_out += len(outcome.timed_out)
+                metrics.partial_operations += 1
+            self.last_scatter_report = {
+                "purpose": outcome.purpose,
+                "makespanSeconds": outcome.makespan_seconds,
+                "timedOutShards": list(outcome.timed_out),
+                "shards": timings,
+            }
+
     def _scatter(
         self,
         database_name: str,
@@ -228,73 +457,34 @@ class QueryRouter:
         ship_results: bool = True,
         targeted: bool = False,
         response_batch_size: int | None = None,
+        remote: Callable[[str], RemoteOperation] | None = None,
+        policy: ScatterPolicy | None = None,
+        is_write: bool = False,
     ) -> dict[str, Any]:
-        """Send an operation to *targets*, collect results, account the cost.
+        """Concurrent scatter + blocking gather; returns per-shard results.
 
-        List results are serialized back to the router in batches of
-        *response_batch_size* (default :data:`RESPONSE_BATCH_SIZE`) — lists
-        of documents directly, lists of scalar values (``distinct``) wrapped
-        per value.  Shipped item counts and payload bytes are accounted in
-        :class:`RouterMetrics`.
+        Raises :class:`ShardTimeoutError` under the ``"raise"`` deadline
+        policy; under ``"partial"`` the returned mapping simply omits the
+        timed-out shards.
         """
-        per_shard_results: dict[str, Any] = {}
-        slowest_branch = 0.0
-        network_seconds_before = self.network.stats.simulated_seconds
-        for shard_id in targets:
-            shard = self._shards[shard_id]
-            self.network.ship_command(
-                command, source=self.name, destination=shard_id, purpose=f"{purpose}:request"
-            )
-            started = time.perf_counter()
-            result = shard.timed(shard_operation, shard)
-            execution_seconds = time.perf_counter() - started
-            if ship_results and isinstance(result, list) and result:
-                unwrap = not all(isinstance(item, Mapping) for item in result)
-                payload_docs: list[Mapping[str, Any]] = (
-                    [{"v": item} for item in result] if unwrap else result
-                )
-                shipped: list[dict[str, Any]] = []
-                batch_size = response_batch_size or self.RESPONSE_BATCH_SIZE
-                bytes_before = self.network.stats.bytes_transferred
-                for start in range(0, len(payload_docs), batch_size):
-                    shipped.extend(
-                        self.network.ship_documents(
-                            payload_docs[start:start + batch_size],
-                            source=shard_id,
-                            destination=self.name,
-                            purpose=f"{purpose}:response",
-                        )
-                    )
-                self.metrics.documents_shipped += len(payload_docs)
-                self.metrics.bytes_shipped += (
-                    self.network.stats.bytes_transferred - bytes_before
-                )
-                result = [doc["v"] for doc in shipped] if unwrap else shipped
-            else:
-                self.network.ship_command(
-                    {"ok": 1},
-                    source=shard_id,
-                    destination=self.name,
-                    purpose=f"{purpose}:ack",
-                )
-            per_shard_results[shard_id] = result
-            adjusted_execution = execution_seconds * shard.description.cpu_factor
-            slowest_branch = max(slowest_branch, adjusted_execution)
-            self.metrics.shard_seconds_total += execution_seconds
-        self.metrics.network_seconds += (
-            self.network.stats.simulated_seconds - network_seconds_before
+        pending = self._launch_scatter(
+            targets,
+            command,
+            purpose,
+            shard_operation,
+            ship_results=ship_results,
+            response_batch_size=response_batch_size,
+            remote=remote,
+            policy=policy,
+            is_write=is_write,
         )
-        self.metrics.operations += 1
-        self.metrics.shards_contacted += len(targets)
-        if targeted:
-            self.metrics.targeted_operations += 1
-        else:
-            self.metrics.broadcast_operations += 1
-        self.metrics.parallel_shard_seconds += slowest_branch
-        return per_shard_results
+        outcome = pending.gather()
+        self._absorb_outcome(outcome, targeted=targeted)
+        return outcome.results()
 
     def _account_router_work(self, started: float) -> None:
-        self.metrics.router_seconds += time.perf_counter() - started
+        with self._metrics_lock:
+            self.metrics.router_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------- inserts
 
@@ -309,9 +499,9 @@ class QueryRouter:
         The batch is routed against pre-sorted chunk boundaries (one bisect
         per document instead of a linear chunk scan), shipped with one
         message per owning shard, and executed through the scatter machinery
-        in a single fan-out.  Chunk statistics are recorded only after every
-        target shard acknowledged its insert, so a failed insert cannot
-        permanently skew the chunk table (and through it the balancer).
+        in a single concurrent fan-out.  Chunk statistics are recorded only
+        after every target shard acknowledged its insert, so a failed insert
+        cannot permanently skew the chunk table (and through it the balancer).
         """
         prepared: list[dict[str, Any]] = []
         for document in documents:
@@ -342,18 +532,19 @@ class QueryRouter:
             primary = self.config.primary_shard(database_name)
             batches[primary] = prepared
 
+        # Ship each shard's slice on a private channel (thread-safe totals).
         shipped: dict[str, list[dict[str, Any]]] = {}
-        network_seconds_before = self.network.stats.simulated_seconds
+        channel = self.network.channel()
         for shard_id, batch in batches.items():
-            shipped[shard_id] = self.network.ship_documents(
+            shipped[shard_id] = channel.ship_documents(
                 batch,
                 source=self.name,
                 destination=shard_id,
                 purpose="insert:request",
             )
-        self.metrics.network_seconds += (
-            self.network.stats.simulated_seconds - network_seconds_before
-        )
+        with self._metrics_lock:
+            self.network.absorb(channel)
+            self.metrics.network_seconds += channel.stats.simulated_seconds
 
         def do_insert(shard: Shard) -> Any:
             return shard.collection(database_name, collection_name).insert_many(
@@ -370,6 +561,7 @@ class QueryRouter:
             do_insert,
             ship_results=False,
             targeted=not sharded or len(targets) < len(self.config.shard_ids),
+            is_write=True,
         )
         if manager is not None:
             for key, chunk in chunk_by_id.items():
@@ -398,10 +590,12 @@ class QueryRouter:
 
         Projection, sort, and ``skip + limit`` are pushed to every target
         shard (each returns at most ``skip + limit`` pre-sorted, pre-projected
-        documents); the router then runs a streaming k-way heap merge of the
-        shard-sorted lists and applies the global skip/limit, so a sorted and
-        limited broadcast ships ``shards × (skip + limit)`` documents instead
-        of every shard's full result set.
+        documents).  All targets execute **concurrently**, and each shard's
+        response batches land on a gather queue as they cross the wire: the
+        router's streaming k-way heap merge (sorted) or arrival-order merge
+        (unsorted) starts consuming before the slowest shard finishes.  When
+        the global ``skip + limit`` is satisfied early, still-running shards
+        are cooperatively cancelled and stop shipping.
         """
         targets, targeted = self._target_shards(database_name, collection_name, spec.filter)
         shard_spec = spec.shard_spec()
@@ -410,9 +604,8 @@ class QueryRouter:
         def do_find(shard: Shard) -> list[dict[str, Any]]:
             return shard.collection(database_name, collection_name).execute_find(shard_spec)
 
-        per_shard = self._scatter(
-            database_name,
-            collection_name,
+        stream = StreamGather(targets, per_shard=spec.sort is not None)
+        pending = self._launch_scatter(
             targets,
             {
                 "find": collection_name,
@@ -423,30 +616,39 @@ class QueryRouter:
             },
             "find",
             do_find,
-            targeted=targeted,
+            ship_results=True,
             response_batch_size=spec.batch_size,
+            remote=lambda shard_id: RemoteOperation(
+                "find", database_name, collection_name, (shard_spec,)
+            ),
+            stream=stream,
         )
         started = time.perf_counter()
-        shard_results = [per_shard[shard_id] for shard_id in targets]
         if spec.sort:
-            # Every shard list is already sorted: stream a k-way heap merge.
-            merged: Iterable[dict[str, Any]] = heapq.merge(
-                *shard_results, key=document_sort_key(spec.sort)
+            # Every shard stream is already sorted: streaming k-way heap merge.
+            merged: Iterator[dict[str, Any]] = heapq.merge(
+                *stream.iterators(pending), key=document_sort_key(spec.sort)
             )
         else:
-            merged = itertools.chain.from_iterable(shard_results)
+            merged = itertools.chain.from_iterable(stream.iterators(pending))
         results: list[dict[str, Any]] = []
         remaining_skip = spec.skip
-        for document in merged:
-            if remaining_skip:
-                remaining_skip -= 1
-                continue
-            results.append(document)
-            if spec.limit is not None and len(results) >= spec.limit:
-                break
+        try:
+            for document in merged:
+                if remaining_skip:
+                    remaining_skip -= 1
+                    continue
+                results.append(document)
+                if spec.limit is not None and len(results) >= spec.limit:
+                    # Satisfied: tell still-shipping shards to stop early.
+                    pending.cancel()
+                    break
+        finally:
+            self._account_router_work(started)
+        outcome = pending.gather()
+        self._absorb_outcome(outcome, targeted=targeted)
         if not projection_pushed and spec.projection:
             results = [project_document(doc, spec.projection) for doc in results]
-        self._account_router_work(started)
         return results
 
     def find(
@@ -468,8 +670,16 @@ class QueryRouter:
         database_name: str,
         collection_name: str,
         spec: FindSpec,
+        *,
+        execution_stats: bool = False,
     ) -> dict[str, Any]:
-        """Explain a routed find: routing decision, pushdown, per-shard plans."""
+        """Explain a routed find: routing decision, pushdown, per-shard plans.
+
+        With ``execution_stats=True`` the find is actually executed through
+        the concurrent scatter and the explain gains an ``executionStats``
+        section: the observed fan-out makespan plus each shard branch's
+        queue / dispatch / execute / ship timing breakdown.
+        """
         targets, targeted = self._target_shards(database_name, collection_name, spec.filter)
         shard_spec = spec.shard_spec()
         shards = {
@@ -490,12 +700,25 @@ class QueryRouter:
             },
             "shards": shards,
         }
-        return {
+        explain = {
             "queryPlanner": {
                 "winningPlan": winning_plan,
                 "sortMode": "streamingKWayMerge" if spec.sort else None,
                 "findSpec": spec.describe(),
             }
+        }
+        if execution_stats:
+            self.execute_find(database_name, collection_name, spec)
+            explain["executionStats"] = self._execution_stats_section()
+        return explain
+
+    def _execution_stats_section(self) -> dict[str, Any]:
+        report = self.last_scatter_report or {}
+        return {
+            "executorMode": self.executor_mode,
+            "parallelSeconds": report.get("makespanSeconds", 0.0),
+            "timedOutShards": report.get("timedOutShards", []),
+            "shards": report.get("shards", {}),
         }
 
     def count_documents(
@@ -519,6 +742,9 @@ class QueryRouter:
             do_count,
             ship_results=False,
             targeted=targeted,
+            remote=lambda shard_id: RemoteOperation(
+                "count", database_name, collection_name, (query,)
+            ),
         )
         return sum(per_shard.values())
 
@@ -550,11 +776,16 @@ class QueryRouter:
             do_distinct,
             ship_results=True,
             targeted=targeted,
+            remote=lambda shard_id: RemoteOperation(
+                "distinct", database_name, collection_name, (key, query)
+            ),
         )
         started = time.perf_counter()
         merged: list[Any] = []
         seen: set[str] = set()
         for shard_id in targets:
+            if shard_id not in per_shard:
+                continue  # timed out under the partial policy
             for value in per_shard[shard_id]:
                 marker = repr(value)
                 if marker not in seen:
@@ -591,6 +822,7 @@ class QueryRouter:
             do_update,
             ship_results=False,
             targeted=targeted,
+            is_write=True,
         )
         matched = sum(result.matched_count for result in per_shard.values())
         modified = sum(result.modified_count for result in per_shard.values())
@@ -612,26 +844,42 @@ class QueryRouter:
         *,
         upsert: bool = False,
     ) -> UpdateResult:
-        """Route a single-document update (first match wins)."""
-        targets, targeted = self._target_shards(database_name, collection_name, query)
-        for shard_id in targets:
-            def do_update(shard: Shard) -> UpdateResult:
-                return shard.collection(database_name, collection_name).update_one(
-                    query, update, upsert=False
-                )
+        """Route a single-document update through one concurrent fan-out.
 
-            per_shard = self._scatter(
-                database_name,
-                collection_name,
-                [shard_id],
-                {"update": collection_name, "filter": query, "u": update, "multi": False},
-                "update",
-                do_update,
-                ship_results=False,
-                targeted=targeted,
-            )
-            result = per_shard[shard_id]
-            if result.matched_count:
+        Every target shard probes for a local match simultaneously; the
+        first branch to find one claims the operation (a one-shot
+        :class:`FirstMatchClaim`) and applies the update to exactly that
+        document, while the claim doubles as a cancellation signal so
+        still-probing branches bail out early.  Exactly one document is ever
+        modified — the previous implementation probed shards one at a time,
+        paying a serial round trip per shard.
+        """
+        targets, targeted = self._target_shards(database_name, collection_name, query)
+        claim = FirstMatchClaim()
+
+        def do_update(shard: Shard) -> UpdateResult:
+            collection = shard.collection(database_name, collection_name)
+            if claim.decided:
+                return UpdateResult(matched_count=0, modified_count=0)
+            matched = collection.find_one(query, {"_id": 1})
+            if matched is None or not claim.claim(shard.shard_id):
+                return UpdateResult(matched_count=0, modified_count=0)
+            return collection.update_one({"_id": matched["_id"]}, update, upsert=False)
+
+        per_shard = self._scatter(
+            database_name,
+            collection_name,
+            targets,
+            {"update": collection_name, "filter": query, "u": update, "multi": False},
+            "update",
+            do_update,
+            ship_results=False,
+            targeted=targeted,
+            is_write=True,
+        )
+        for shard_id in targets:
+            result = per_shard.get(shard_id)
+            if result is not None and result.matched_count:
                 return result
         if upsert:
             from ..documentstore.update import build_upsert_document
@@ -662,6 +910,7 @@ class QueryRouter:
             do_delete,
             ship_results=False,
             targeted=targeted,
+            is_write=True,
         )
         return DeleteResult(deleted_count=sum(result.deleted_count for result in per_shard.values()))
 
@@ -676,7 +925,7 @@ class QueryRouter:
         unique: bool = False,
         name: str = "",
     ) -> str:
-        """Create an index on every shard holding the collection."""
+        """Create an index on every shard holding the collection (concurrently)."""
         if self.config.is_sharded(database_name, collection_name):
             targets = self.config.shard_ids
         else:
@@ -696,6 +945,7 @@ class QueryRouter:
             do_create,
             ship_results=False,
             targeted=False,
+            is_write=True,
         )
         return next(iter(per_shard.values()))
 
@@ -720,6 +970,7 @@ class QueryRouter:
             do_drop,
             ship_results=False,
             targeted=False,
+            is_write=True,
         )
 
     def drop_collection(self, database_name: str, collection_name: str) -> None:
@@ -739,6 +990,7 @@ class QueryRouter:
                 do_drop,
                 ship_results=False,
                 targeted=False,
+                is_write=True,
             )
         self.config.drop_collection_metadata(database_name, collection_name)
 
@@ -755,7 +1007,8 @@ class QueryRouter:
         The routing decision uses the leading ``$match`` stage: when it
         constrains the shard key the shard stages only run on the owning
         shards, otherwise the pipeline is broadcast (Section 4.3's expensive
-        case for the analytical queries).
+        case for the analytical queries).  All shard-side pipelines execute
+        concurrently through the scatter pool.
         """
         pipeline = list(pipeline)
         shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
@@ -779,12 +1032,15 @@ class QueryRouter:
             "aggregate",
             do_aggregate,
             targeted=targeted,
+            remote=lambda shard_id: RemoteOperation(
+                "aggregate", database_name, collection_name, (tuple(shard_stages),)
+            ),
         )
 
         started = time.perf_counter()
         merged: list[dict[str, Any]] = []
         for shard_id in targets:
-            merged.extend(per_shard[shard_id])
+            merged.extend(per_shard.get(shard_id, []))
 
         out_target: str | None = None
         if merge_stages and "$out" in merge_stages[-1]:
@@ -818,6 +1074,8 @@ class QueryRouter:
         database_name: str,
         collection_name: str,
         pipeline: Sequence[Mapping[str, Any]],
+        *,
+        execution_stats: bool = False,
     ) -> dict[str, Any]:
         """Explain a routed aggregation without network/metric accounting.
 
@@ -825,7 +1083,10 @@ class QueryRouter:
         contacted) plus each shard's local plan — including the IXSCAN /
         COLLSCAN choice for the leading ``$match`` and per-stage documents
         examined / returned counters — and the merge stages the router would
-        run over the combined results.
+        run over the combined results.  With ``execution_stats=True`` the
+        pipeline is actually executed through the concurrent scatter and the
+        result gains an ``executionStats`` section with the observed fan-out
+        makespan and per-shard queue / dispatch / execute / ship timings.
         """
         pipeline = list(pipeline)
         shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
@@ -839,12 +1100,16 @@ class QueryRouter:
             .explain_aggregate(shard_stages)
             for shard_id in targets
         }
-        return {
+        explain = {
             "targeted": targeted,
             "shardsContacted": list(targets),
             "shards": shards,
             "mergeStages": [next(iter(stage)) for stage in merge_stages],
         }
+        if execution_stats:
+            self.aggregate(database_name, collection_name, pipeline)
+            explain["executionStats"] = self._execution_stats_section()
+        return explain
 
     # --------------------------------------------------------------------- stats
 
@@ -984,10 +1249,18 @@ class RoutedCollection:
             return document
         return None
 
-    def explain(self, query: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    def explain(
+        self,
+        query: Mapping[str, Any] | None = None,
+        *,
+        execution_stats: bool = False,
+    ) -> dict[str, Any]:
         """Explain a find on the cluster (``Collection.explain`` analogue)."""
         return self._router.explain_find(
-            self._database_name, self.name, FindSpec(filter=query)
+            self._database_name,
+            self.name,
+            FindSpec(filter=query),
+            execution_stats=execution_stats,
         )
 
     def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
@@ -1028,9 +1301,13 @@ class RoutedCollection:
     def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
         return self._router.aggregate(self._database_name, self.name, pipeline)
 
-    def explain_aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    def explain_aggregate(
+        self, pipeline: Sequence[Mapping[str, Any]], *, execution_stats: bool = False
+    ) -> dict[str, Any]:
         """Explain how the cluster would execute *pipeline* (per-shard plans)."""
-        return self._router.explain_aggregate(self._database_name, self.name, pipeline)
+        return self._router.explain_aggregate(
+            self._database_name, self.name, pipeline, execution_stats=execution_stats
+        )
 
     def create_index(self, keys: Any, *, unique: bool = False, name: str = "") -> str:
         return self._router.create_index(self._database_name, self.name, keys, unique=unique, name=name)

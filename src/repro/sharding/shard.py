@@ -10,6 +10,7 @@ execution cost is real work measured on real data structures.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -46,9 +47,16 @@ class Shard:
         self.description = description or ShardDescription(shard_id=shard_id)
         self._client = DocumentStoreClient(name=shard_id)
         # Cumulative busy time, used to derive the parallel (simulated) elapsed
-        # time of scatter-gather operations.
+        # time of scatter-gather operations.  Guarded by a lock: concurrent
+        # scatters from multiple client threads may account against the same
+        # shard simultaneously.
         self.busy_seconds = 0.0
         self.operations = 0
+        self._accounting_lock = threading.Lock()
+        # Serializes storage operations on this node: a shard is one mongod
+        # process, and two scatter branches from concurrent client threads
+        # must not interleave structural mutations on its collections.
+        self.op_lock = threading.RLock()
 
     # -- storage access --------------------------------------------------------
 
@@ -74,15 +82,34 @@ class Shard:
         """Run *operation* and account its wall time as shard busy time."""
         started = time.perf_counter()
         try:
-            return operation(*args, **kwargs)
+            with self.op_lock:
+                return operation(*args, **kwargs)
         finally:
-            self.busy_seconds += time.perf_counter() - started
-            self.operations += 1
+            self.record_busy(time.perf_counter() - started)
+
+    def run(self, operation, *args, **kwargs):
+        """Run *operation* under the shard's op lock, returning (result, seconds).
+
+        Unlike :meth:`timed` this does *not* record busy time — the scatter
+        gather records it at merge time so that cancelled/timed-out branches
+        leave the accounting untouched.
+        """
+        started = time.perf_counter()
+        with self.op_lock:
+            result = operation(*args, **kwargs)
+        return result, time.perf_counter() - started
+
+    def record_busy(self, seconds: float, operations: int = 1) -> None:
+        """Account *seconds* of storage work performed on this shard."""
+        with self._accounting_lock:
+            self.busy_seconds += seconds
+            self.operations += operations
 
     def reset_accounting(self) -> None:
         """Clear busy-time counters (between experiments)."""
-        self.busy_seconds = 0.0
-        self.operations = 0
+        with self._accounting_lock:
+            self.busy_seconds = 0.0
+            self.operations = 0
 
     # -- statistics ------------------------------------------------------------
 

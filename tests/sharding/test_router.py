@@ -205,7 +205,10 @@ class TestMetricsAndCostModel:
         orders.find({"store": 0}).to_list()
         assert loaded.router.metrics.shards_contacted == 3
 
-    def test_cpu_factor_scales_parallel_shard_seconds(self):
+    def test_cpu_factor_scales_modelled_parallel_seconds(self):
+        # The cost model scales the slowest branch by the shard's cpu_factor;
+        # with factor 4 the modelled makespan must exceed even the *sum* of
+        # the raw per-shard execution times (2 shards x factor 4 > 2).
         slow_nodes = [
             ShardDescription(shard_id=f"s{i}", cpu_factor=4.0) for i in range(2)
         ]
@@ -217,7 +220,18 @@ class TestMetricsAndCostModel:
         cluster.reset_metrics()
         collection.find({}).to_list()
         metrics = cluster.router.metrics
-        assert metrics.parallel_shard_seconds > metrics.shard_seconds_total / 2
+        assert metrics.modelled_parallel_seconds > metrics.shard_seconds_total / 2
+
+    def test_observed_makespan_is_measured(self, loaded):
+        # parallel_shard_seconds is now an observed wall-clock makespan: it
+        # must cover at least the longest single branch of each fan-out but
+        # stay a real measurement (> 0) rather than a derived estimate.
+        orders = loaded.get_database("shop")["orders"]
+        loaded.reset_metrics()
+        orders.find({}).to_list()
+        metrics = loaded.router.metrics
+        assert metrics.operations == 1
+        assert metrics.parallel_shard_seconds > 0
 
     def test_simulated_overhead_includes_network(self, loaded):
         orders = loaded.get_database("shop")["orders"]
@@ -225,10 +239,12 @@ class TestMetricsAndCostModel:
         orders.find({}).to_list()
         metrics = loaded.router.metrics
         assert metrics.network_seconds > 0
+        # The overhead swaps the observed concurrent execution window for the
+        # modelled cluster makespan plus simulated network costs.
         assert metrics.snapshot()["simulated_overhead_seconds"] == pytest.approx(
-            metrics.parallel_shard_seconds
+            metrics.modelled_parallel_seconds
             + metrics.network_seconds
-            - metrics.shard_seconds_total
+            - metrics.parallel_shard_seconds
         )
 
     def test_higher_latency_model_costs_more(self):
