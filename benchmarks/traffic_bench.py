@@ -1,0 +1,336 @@
+"""Many-client traffic benchmark for the served front door.
+
+Run directly (``PYTHONPATH=src python benchmarks/traffic_bench.py``) to drive
+a :class:`DocumentStoreServer` fronting a 2-shard cluster with N concurrent
+clients over real sockets.  Each client thread owns one
+:class:`RemoteClient` connection and issues a mixed workload — sorted+limited
+finds, shard-key-targeted point reads, ``getMore``-paged cursors,
+aggregations, small inserts, targeted updates, and counts — for a fixed
+wall-clock window.
+
+The cluster runs with **realtime network emulation**
+(``NetworkModel(realtime=True)``): every router<->shard message really waits
+its simulated duration, emulating the paper's machine boundaries.  That wait
+is where concurrency pays — while one session's scatter is waiting on its
+shards, the server's other session threads make progress — so throughput
+should scale with the client count until CPU saturates.  The acceptance
+criterion (full scale): 8 concurrent clients sustain at least 5x the
+throughput of 1 client.
+
+Per-operation latencies are recorded client-side and reported as exact
+p50/p95/p99 over the run; the server's own ``serverStatus`` (op counters,
+per-opcode latency histograms, actual wire bytes) is captured after each run
+for cross-checking.
+
+The observed numbers are written to
+``benchmarks/results/traffic_scaling.txt`` and, machine readable, to
+``benchmarks/results/BENCH_traffic.json``.  Set
+``REPRO_TRAFFIC_BENCH_SCALE=tiny`` for a CI-sized smoke run (no scaling
+assertion; just nonzero throughput and a clean drain).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import threading
+import time
+
+from repro.server import DocumentStoreServer, RemoteClient
+from repro.sharding import NetworkModel, ShardedCluster
+
+TINY = os.environ.get("REPRO_TRAFFIC_BENCH_SCALE", "full").lower() == "tiny"
+DOCS = 800 if TINY else 6_000
+STORES = 100
+CLIENT_COUNTS = [1, 4] if TINY else [1, 2, 4, 8]
+DURATION_SECONDS = 1.0 if TINY else 4.0
+WARMUP_SECONDS = 0.2 if TINY else 0.5
+LATENCY_SECONDS = 0.0015 if TINY else 0.005
+SHARDS = 2
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+# (name, weight) — weights sum to 100; drawn per iteration per client.
+WORKLOAD = [
+    ("find_sorted", 40),
+    ("find_point", 15),
+    ("find_paged", 15),
+    ("aggregate", 10),
+    ("insert_many", 10),
+    ("update_one", 5),
+    ("count", 5),
+]
+
+
+def make_documents(count: int) -> list[dict]:
+    rng = random.Random(20170321)
+    return [
+        {
+            "order_id": i,
+            "amount": round(rng.uniform(1.0, 500.0), 2),
+            "store": i % STORES,
+            "tag": f"t{i % 7}",
+        }
+        for i in range(count)
+    ]
+
+
+def build_cluster() -> ShardedCluster:
+    cluster = ShardedCluster(
+        shard_count=SHARDS,
+        network_model=NetworkModel(latency_seconds=LATENCY_SECONDS, realtime=True),
+        executor_mode="thread",
+    )
+    cluster.shard_collection("bench", "orders", {"order_id": "hashed"})
+    orders = cluster.get_database("bench")["orders"]
+    orders.insert_many(make_documents(DOCS))
+    # Secondary indexes keep per-op CPU small so the realtime network wait
+    # (not a collection scan under the GIL) dominates each operation.
+    orders.create_index([("store", 1)])
+    orders.create_index([("amount", -1)])
+    cluster.balance()
+    cluster.reset_metrics()
+    return cluster
+
+
+class _Worker(threading.Thread):
+    """One traffic client: its own connection, workload mix, and latency log."""
+
+    def __init__(
+        self,
+        index: int,
+        address: tuple[str, int],
+        barrier: threading.Barrier,
+        stop_at: list[float],
+    ) -> None:
+        super().__init__(name=f"traffic-client-{index}", daemon=True)
+        self.index = index
+        self.address = address
+        self.barrier = barrier
+        self.stop_at = stop_at  # single-element list, set after warmup
+        self.rng = random.Random(8_000 + index)
+        self.latencies: dict[str, list[float]] = {name: [] for name, _ in WORKLOAD}
+        self.errors: list[str] = []
+        self._insert_seq = 1_000_000 + index * 100_000
+        self._ops = [name for name, _ in WORKLOAD]
+        self._weights = [weight for _, weight in WORKLOAD]
+
+    def run(self) -> None:
+        try:
+            with RemoteClient(self.address, pool_size=1) as client:
+                orders = client["bench"]["orders"]
+                self.barrier.wait()
+                measuring = False
+                while True:
+                    now = time.perf_counter()
+                    if now >= self.stop_at[1]:
+                        break
+                    if not measuring and now >= self.stop_at[0]:
+                        measuring = True  # warmup over: start recording
+                    (op,) = self.rng.choices(self._ops, weights=self._weights)
+                    started = time.perf_counter()
+                    self._run_op(op, orders)
+                    if measuring:
+                        self.latencies[op].append(time.perf_counter() - started)
+        except BaseException as exc:  # noqa: BLE001 - reported by the driver
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+
+    def _run_op(self, op: str, orders) -> None:
+        rng = self.rng
+        store = rng.randrange(STORES)
+        if op == "find_sorted":
+            orders.find(
+                {"store": store},
+                {"_id": 0, "order_id": 1, "amount": 1},
+                sort=[("amount", -1)],
+                limit=10,
+            ).to_list()
+        elif op == "find_point":
+            orders.find_one({"order_id": rng.randrange(DOCS)})
+        elif op == "find_paged":
+            orders.find(
+                {"store": store}, {"_id": 0}, batch_size=8, limit=24
+            ).to_list()
+        elif op == "aggregate":
+            orders.aggregate(
+                [
+                    {"$match": {"store": store}},
+                    {"$group": {"_id": "$tag", "revenue": {"$sum": "$amount"}}},
+                ]
+            )
+        elif op == "insert_many":
+            base = self._insert_seq
+            self._insert_seq += 5
+            orders.insert_many(
+                [
+                    {"order_id": n, "amount": 1.0, "store": store, "tag": "new"}
+                    for n in range(base, base + 5)
+                ]
+            )
+        elif op == "update_one":
+            orders.update_one(
+                {"order_id": rng.randrange(DOCS)}, {"$inc": {"amount": 1.0}}
+            )
+        elif op == "count":
+            orders.count_documents({"store": store})
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Exact (interpolated) percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    pos = (len(sorted_values) - 1) * q
+    low = int(pos)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = pos - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def run_with_clients(client_count: int) -> dict:
+    cluster = build_cluster()
+    try:
+        with DocumentStoreServer(cluster, max_connections=client_count + 4) as server:
+            barrier = threading.Barrier(client_count + 1)
+            stop_at: list[float] = [0.0, 0.0]
+            workers = [
+                _Worker(i, server.address, barrier, stop_at)
+                for i in range(client_count)
+            ]
+            for worker in workers:
+                worker.start()
+            barrier.wait()  # all connections are up
+            now = time.perf_counter()
+            stop_at[0] = now + WARMUP_SECONDS
+            stop_at[1] = now + WARMUP_SECONDS + DURATION_SECONDS
+            for worker in workers:
+                worker.join()
+            status = server.server_status()
+
+        errors = [e for w in workers for e in w.errors]
+        if errors:
+            raise SystemExit(f"traffic run with {client_count} client(s) failed: {errors}")
+
+        all_latencies = sorted(
+            lat for w in workers for series in w.latencies.values() for lat in series
+        )
+        operations = len(all_latencies)
+        per_op = {}
+        for name, _ in WORKLOAD:
+            series = sorted(lat for w in workers for lat in w.latencies[name])
+            if series:
+                per_op[name] = {
+                    "operations": len(series),
+                    "p50_ms": percentile(series, 0.50) * 1e3,
+                    "p95_ms": percentile(series, 0.95) * 1e3,
+                    "p99_ms": percentile(series, 0.99) * 1e3,
+                }
+        return {
+            "clients": client_count,
+            "duration_seconds": DURATION_SECONDS,
+            "operations": operations,
+            "throughput_ops_per_second": operations / DURATION_SECONDS,
+            "latency_ms": {
+                "mean": (sum(all_latencies) / operations) * 1e3 if operations else 0.0,
+                "p50": percentile(all_latencies, 0.50) * 1e3,
+                "p95": percentile(all_latencies, 0.95) * 1e3,
+                "p99": percentile(all_latencies, 0.99) * 1e3,
+                "max": all_latencies[-1] * 1e3 if all_latencies else 0.0,
+            },
+            "per_operation": per_op,
+            "server": {
+                "opcounters": status.get("opcounters", {}),
+                "wire": status.get("wire", {}),
+                "cursors": status.get("cursors", {}),
+                "connections": status.get("connections", {}),
+            },
+        }
+    finally:
+        cluster.close()
+
+
+def main() -> None:
+    print(
+        f"traffic bench: docs={DOCS:,} shards={SHARDS} "
+        f"latency={LATENCY_SECONDS * 1e3:.1f} ms duration={DURATION_SECONDS:.1f} s "
+        f"clients={CLIENT_COUNTS} cpus={os.cpu_count()}"
+    )
+    runs = []
+    for client_count in CLIENT_COUNTS:
+        run = run_with_clients(client_count)
+        runs.append(run)
+        lat = run["latency_ms"]
+        print(
+            f"  {client_count:>2} client(s): {run['throughput_ops_per_second']:8.1f} ops/s   "
+            f"p50={lat['p50']:6.2f} ms  p95={lat['p95']:6.2f} ms  "
+            f"p99={lat['p99']:6.2f} ms  ({run['operations']:,} ops)"
+        )
+
+    base = runs[0]["throughput_ops_per_second"]
+    peak = runs[-1]["throughput_ops_per_second"]
+    scaling = peak / base if base else 0.0
+    print(
+        f"  scaling: {runs[-1]['clients']} clients sustain x{scaling:.2f} "
+        f"the single-client throughput"
+    )
+
+    if TINY:
+        accepted = all(r["throughput_ops_per_second"] > 0 for r in runs)
+        criterion = "tiny smoke: every run sustains nonzero throughput and drains cleanly"
+    else:
+        accepted = scaling >= 5.0
+        criterion = "8 concurrent clients sustain >= 5x the single-client throughput"
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bench": "traffic",
+        "scale": "tiny" if TINY else "full",
+        "config": {
+            "documents": DOCS,
+            "shards": SHARDS,
+            "stores": STORES,
+            "latency_seconds": LATENCY_SECONDS,
+            "duration_seconds": DURATION_SECONDS,
+            "warmup_seconds": WARMUP_SECONDS,
+            "workload": dict(WORKLOAD),
+            "client_counts": CLIENT_COUNTS,
+            "cpus": os.cpu_count(),
+        },
+        "runs": runs,
+        "acceptance": {
+            "criterion": criterion,
+            "single_client_ops_per_second": base,
+            "peak_ops_per_second": peak,
+            "scaling_x": scaling,
+            "passed": accepted,
+        },
+    }
+    json_path = RESULTS_DIR / "BENCH_traffic.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "served traffic scaling (realtime network emulation, "
+        f"{LATENCY_SECONDS * 1e3:.1f} ms shard latency, {SHARDS} shards, "
+        f"{DOCS:,} docs, {DURATION_SECONDS:.1f} s per run)",
+        "",
+        f"{'clients':>7}  {'ops/s':>9}  {'p50 ms':>7}  {'p95 ms':>7}  {'p99 ms':>7}",
+    ]
+    for run in runs:
+        lat = run["latency_ms"]
+        lines.append(
+            f"{run['clients']:>7}  {run['throughput_ops_per_second']:>9.1f}  "
+            f"{lat['p50']:>7.2f}  {lat['p95']:>7.2f}  {lat['p99']:>7.2f}"
+        )
+    lines += ["", f"scaling at {runs[-1]['clients']} clients: x{scaling:.2f}  ({criterion})"]
+    txt_path = RESULTS_DIR / "traffic_scaling.txt"
+    txt_path.write_text("\n".join(lines) + "\n")
+
+    print(f"\nwrote {json_path.relative_to(RESULTS_DIR.parent.parent)}")
+    print(f"wrote {txt_path.relative_to(RESULTS_DIR.parent.parent)}")
+    if not accepted:
+        raise SystemExit(f"acceptance criterion failed: {criterion} (got x{scaling:.2f})")
+
+
+if __name__ == "__main__":
+    main()

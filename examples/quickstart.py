@@ -6,7 +6,8 @@ dataset:
 1. generate a TPC-DS-style dataset and load it with the migration algorithm;
 2. inspect the normalized collections (the referenced data model);
 3. denormalize the ``store_sales`` fact collection (the embedded data model);
-4. run Query 7 against both data models and compare answers and runtimes.
+4. run Query 7 against both data models and compare answers and runtimes;
+5. serve the same database over a real socket and query it remotely.
 
 Run it with::
 
@@ -26,6 +27,7 @@ from repro.core import (
     tiny_profile,
 )
 from repro.documentstore import DocumentStoreClient
+from repro.server import DocumentStoreServer, RemoteClient
 from repro.tpcds import TPCDSGenerator, query_definition
 from repro.tpcds.schema import QUERY_TABLES
 
@@ -115,6 +117,30 @@ def main() -> None:
     print("\nFirst result rows:")
     for row in denormalized_rows[:3]:
         print(" ", {k: round(v, 2) if isinstance(v, float) else v for k, v in row.items()})
+
+    # ----------------------------------------------------------------- serving
+    # The same database can be served over a real TCP socket: the server
+    # speaks a length-prefixed binary wire protocol, and RemoteClient
+    # re-speaks the Collection API — the lazy FindSpec crosses the wire whole,
+    # so sort+limit pushdown and batched getMore cursors survive serving.
+    print("\nServing the loaded database over a socket (repro.server)...")
+    with DocumentStoreServer(client, port=0) as server:
+        host, port = server.address
+        with RemoteClient((host, port)) as remote:
+            remote_sales = remote[profile.database_name]["store_sales"]
+            count = remote_sales.count_documents({})
+            top = (
+                remote_sales.find({}, {"_id": 0, "ss_sales_price": 1})
+                .sort("ss_sales_price", -1)
+                .limit(1)
+                .to_list()
+            )
+            status = remote.server_status()
+        print(
+            f"  {host}:{port} answered count={count}, top price={top[0]['ss_sales_price']}  "
+            f"(opcounters: {status['opcounters']}, "
+            f"wire bytes out: {status['wire']['bytes_out']:,})"
+        )
 
 
 if __name__ == "__main__":

@@ -56,7 +56,13 @@ def main() -> None:
     generator = TPCDSGenerator(profile, seed=20151109)
 
     print("Building a 3-shard cluster and sharding the query collections...")
-    cluster = ShardedCluster(shard_count=3)
+    # The cluster owns threads (scatter workers) and per-shard state; the
+    # context manager shuts everything down even if the demo fails midway.
+    with ShardedCluster(shard_count=3) as cluster:
+        run_cluster_demo(cluster, profile, generator)
+
+
+def run_cluster_demo(cluster: ShardedCluster, profile, generator) -> None:
     database_name = profile.database_name
     cluster.enable_sharding(database_name)
     for collection_name, shard_key in SHARD_KEYS.items():

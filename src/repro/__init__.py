@@ -9,6 +9,10 @@ Subpackages
 ``repro.sharding``
     Sharded-cluster components: shards, config server, query router,
     chunk management, balancer, and a simulated network.
+``repro.server``
+    The served front door: a length-prefixed binary wire protocol, a
+    threaded socket server fronting either deployment environment, and a
+    pooled remote client re-speaking the Collection API.
 ``repro.tpcds``
     A scaled-down TPC-DS-style data generator, the ``.dat`` file format, and
     the four analytical queries (7, 21, 46, 50) used in the evaluation.

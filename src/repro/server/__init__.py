@@ -1,0 +1,48 @@
+"""The served front door: wire protocol, socket server, and remote client.
+
+Turns the in-process document store into a *served* system: a
+length-prefixed binary frame protocol (:mod:`repro.server.protocol`), a
+threaded TCP server fronting either a stand-alone
+:class:`~repro.documentstore.client.DocumentStoreClient` or a
+:class:`~repro.sharding.cluster.ShardedCluster`
+(:mod:`repro.server.server`), and a pooled socket client that re-speaks the
+existing Collection API over the wire (:mod:`repro.server.client`).
+"""
+
+from .client import RemoteClient, RemoteCollection, RemoteDatabase
+from .protocol import (
+    FLAG_HAS_MORE,
+    MAX_FRAME_SIZE,
+    ConnectionFailure,
+    Frame,
+    Opcode,
+    ProtocolError,
+    decode_findspec,
+    encode_error,
+    encode_findspec,
+    encode_frame,
+    raise_wire_error,
+    recv_frame,
+)
+from .server import DocumentStoreServer, LatencyHistogram, ServerStats
+
+__all__ = [
+    "ConnectionFailure",
+    "DocumentStoreServer",
+    "FLAG_HAS_MORE",
+    "Frame",
+    "LatencyHistogram",
+    "MAX_FRAME_SIZE",
+    "Opcode",
+    "ProtocolError",
+    "RemoteClient",
+    "RemoteCollection",
+    "RemoteDatabase",
+    "ServerStats",
+    "decode_findspec",
+    "encode_error",
+    "encode_findspec",
+    "encode_frame",
+    "raise_wire_error",
+    "recv_frame",
+]

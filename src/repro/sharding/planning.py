@@ -32,7 +32,13 @@ def _ceil_ratio(required: float, per_shard: float) -> int:
         raise ValueError("per-shard capacity must be positive")
     if required <= 0:
         return 1
-    return max(1, math.ceil(required / per_shard))
+    count = max(1, math.ceil(required / per_shard))
+    # float division can round the quotient down hard enough that the ceiling
+    # no longer covers the requirement (e.g. required ~1e15, per_shard 1.49);
+    # top up so count * per_shard >= required always holds.
+    while count * per_shard < required:
+        count += 1
+    return count
 
 
 def shards_for_disk_storage(storage_bytes: float, shard_disk_bytes: float) -> int:

@@ -1,0 +1,246 @@
+"""Served-vs-standalone parity, cursor streaming, observability, honesty.
+
+The acceptance matrix of the served front door: every operation issued
+through a real socket against the 2-shard served cluster must return exactly
+what the stand-alone in-process database returns, including sort+skip+limit
+pushdown and ``getMore`` batched cursors; the server's byte accounting must
+be at least the router's simulated shipping estimate for the same query.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import time
+
+import pytest
+
+from repro.documentstore import ObjectId
+from repro.documentstore.errors import DuplicateKeyError, OperationFailure
+from repro.server import ConnectionFailure, DocumentStoreServer, RemoteClient
+
+from .conftest import DOCS
+
+
+def stripped(docs):
+    """Deterministic order, ignoring auto-generated ``_id`` values."""
+    return sorted(
+        ({k: v for k, v in d.items() if k != "_id"} for d in docs),
+        key=lambda d: d["order_id"],
+    )
+
+
+class TestParityMatrix:
+    def test_find_broadcast(self, remote, standalone):
+        got = remote.find({"store": 2}).to_list()
+        want = standalone.find({"store": 2}).to_list()
+        assert stripped(got) == stripped(want)
+
+    def test_find_sort_skip_limit_projection(self, remote, standalone):
+        kwargs = dict(
+            projection={"_id": 0, "order_id": 1, "amount": 1},
+            sort=[("amount", -1), ("order_id", 1)],
+            skip=5,
+            limit=20,
+        )
+        got = remote.find({"store": {"$gte": 1}}, **kwargs).to_list()
+        want = standalone.find({"store": {"$gte": 1}}, **kwargs).to_list()
+        assert got == want
+
+    def test_find_chained_cursor_options(self, remote, standalone):
+        got = (
+            remote.find({}, {"_id": 0, "order_id": 1})
+            .sort("order_id", -1)
+            .skip(2)
+            .limit(9)
+            .to_list()
+        )
+        want = (
+            standalone.find({}, {"_id": 0, "order_id": 1})
+            .sort("order_id", -1)
+            .skip(2)
+            .limit(9)
+            .to_list()
+        )
+        assert got == want
+
+    def test_find_targeted_on_shard_key(self, remote, standalone):
+        got = remote.find({"order_id": 41}).to_list()
+        want = standalone.find({"order_id": 41}).to_list()
+        assert stripped(got) == stripped(want)
+
+    def test_get_more_batched_cursor(self, remote, standalone, server):
+        got = remote.find(
+            {}, {"_id": 0}, sort=[("order_id", 1)], batch_size=7, limit=40
+        ).to_list()
+        want = standalone.find(
+            {}, {"_id": 0}, sort=[("order_id", 1)], batch_size=7, limit=40
+        ).to_list()
+        assert got == want
+        status = server.stats.snapshot()
+        assert status["opcounters"]["get_more"] >= 5  # 40 docs / 7 per batch
+        assert status["cursors"]["opened"] == 1
+        assert status["cursors"]["exhausted"] == 1
+
+    def test_aggregate(self, remote, standalone):
+        pipeline = [
+            {"$match": {"store": {"$lte": 3}}},
+            {"$group": {"_id": "$store", "total": {"$sum": "$amount"}, "n": {"$sum": 1}}},
+            {"$sort": {"_id": 1}},
+        ]
+        assert remote.aggregate(pipeline) == standalone.aggregate(pipeline)
+
+    def test_count_and_distinct(self, remote, standalone):
+        assert remote.count_documents({"store": 3}) == standalone.count_documents({"store": 3})
+        assert sorted(remote.distinct("tag")) == sorted(standalone.distinct("tag"))
+        assert sorted(remote.distinct("tag", {"store": 1})) == sorted(
+            standalone.distinct("tag", {"store": 1})
+        )
+
+    def test_insert_many_parity(self, remote, standalone):
+        extra = [{"order_id": 1_000 + i, "amount": float(i), "store": 9} for i in range(25)]
+        got_result = remote.insert_many(extra)
+        want_result = standalone.insert_many(extra)
+        assert len(got_result.inserted_ids) == len(want_result.inserted_ids) == 25
+        assert all(isinstance(oid, ObjectId) for oid in got_result.inserted_ids)
+        got = remote.find({"store": 9}).to_list()
+        want = standalone.find({"store": 9}).to_list()
+        assert stripped(got) == stripped(want)
+
+    def test_insert_one_returns_id(self, remote):
+        result = remote.insert_one({"order_id": 5_000, "amount": 1.5, "store": 8})
+        assert isinstance(result.inserted_id, ObjectId)
+        assert remote.count_documents({"order_id": 5_000}) == 1
+
+    def test_update_one_modifies_exactly_one(self, remote, standalone):
+        got = remote.update_one({"store": 2}, {"$set": {"flag": True}})
+        want = standalone.update_one({"store": 2}, {"$set": {"flag": True}})
+        assert (got.matched_count, got.modified_count) == (
+            want.matched_count,
+            want.modified_count,
+        ) == (1, 1)
+        assert remote.count_documents({"flag": True}) == 1
+
+    def test_update_many_and_upsert(self, remote, standalone):
+        got = remote.update_many({"store": 4}, {"$inc": {"amount": 1.0}})
+        want = standalone.update_many({"store": 4}, {"$inc": {"amount": 1.0}})
+        assert got.modified_count == want.modified_count
+        upserted = remote.update_one(
+            {"order_id": 77_777}, {"$set": {"store": 1}}, upsert=True
+        )
+        assert upserted.upserted_id is not None
+        assert remote.count_documents({"order_id": 77_777}) == 1
+
+    def test_delete_one_and_many(self, remote, standalone):
+        got_one = remote.delete_one({"store": 1})
+        want_one = standalone.delete_one({"store": 1})
+        assert got_one.deleted_count == want_one.deleted_count == 1
+        got_many = remote.delete_many({"store": 0})
+        want_many = standalone.delete_many({"store": 0})
+        assert got_many.deleted_count == want_many.deleted_count
+        assert remote.count_documents({}) == standalone.count_documents({})
+
+    def test_extended_types_round_trip_through_server(self, remote):
+        oid = ObjectId()
+        when = dt.datetime(2017, 3, 21, 9, 30, 0)
+        remote.insert_many(
+            [{"order_id": 9_000, "ref": oid, "when": when, "raw": b"\x01\x02"}]
+        )
+        stored = remote.find_one({"order_id": 9_000})
+        assert stored["ref"] == oid
+        assert stored["when"] == when
+        assert stored["raw"] == b"\x01\x02"
+
+
+class TestErrorsOverTheWire:
+    def test_unknown_command(self, client):
+        with pytest.raises(OperationFailure, match="unknown command"):
+            client.command("shop", {"frobnicate": 1})
+
+    def test_duplicate_key_error(self, remote):
+        remote.create_index([("order_id", 1)], unique=True, name="uniq_order")
+        with pytest.raises(DuplicateKeyError):
+            remote.insert_many([{"order_id": 0, "amount": 0.0, "store": 0}])
+
+    def test_invalid_filter_operator(self, remote):
+        with pytest.raises(OperationFailure):
+            remote.find({"amount": {"$frob": 1}}).to_list()
+
+
+class TestObservability:
+    def test_server_status_surface(self, client, remote):
+        remote.find({"store": 1}).to_list()
+        remote.count_documents({})
+        status = client.server_status()
+        assert status["deployment"] == "sharded"
+        assert status["opcounters"]["find"] >= 1
+        assert status["opcounters"]["count"] >= 1
+        find_latency = status["latency_ms"]["find"]
+        assert find_latency["count"] >= 1
+        assert find_latency["p50_ms"] <= find_latency["p99_ms"] <= find_latency["max_ms"]
+        assert status["wire"]["bytes_in"] > 0
+        assert status["wire"]["bytes_out"] > 0
+        assert status["connections"]["active"] >= 1
+        assert "router" in status and "bytes_shipped" in status["router"]
+
+    def test_wire_bytes_at_least_simulated_bytes_shipped(self, cluster, server, remote):
+        """Byte-accounting honesty: real frames >= the simulated estimate.
+
+        A broadcast find without projection makes every shard ship its full
+        matching documents to the router (``RouterMetrics.bytes_shipped``,
+        simulated), and the server then sends the same documents to the
+        client in reply frames whose *actual* encoded sizes are accounted in
+        ``ServerStats.bytes_out``.  The wire carries the same payload plus
+        framing and envelope overhead, so the real number must dominate the
+        simulated one for the same query.
+        """
+        server.stats.reset()
+        cluster.reset_metrics()
+        results = remote.find({"store": {"$lte": 2}}).to_list()
+        assert results  # a real broadcast result set
+        simulated = cluster.router.metrics.bytes_shipped
+        actual = server.stats.snapshot()["wire"]["bytes_out"]
+        assert simulated > 0
+        assert actual >= simulated
+
+    def test_stats_reset(self, server, remote):
+        remote.count_documents({})
+        server.stats.reset()
+        status = server.stats.snapshot()
+        assert status["opcounters"] == {}
+        assert status["wire"]["bytes_out"] == 0
+
+
+class TestConnectionLimits:
+    def test_max_connections_backpressure(self, cluster):
+        with DocumentStoreServer(cluster, port=0, max_connections=1) as server:
+            with RemoteClient(server.address, pool_size=1) as first:
+                assert first.ping()  # occupies the only session slot
+                with RemoteClient(server.address, pool_size=1) as second:
+                    with pytest.raises(ConnectionFailure, match="connection limit"):
+                        second.ping()
+                assert server.stats.snapshot()["connections"]["rejected"] >= 1
+            # The slot frees once the server notices the first client's EOF;
+            # retry briefly rather than racing the session teardown.
+            deadline = time.monotonic() + 2.0
+            while True:
+                try:
+                    with RemoteClient(server.address, pool_size=1) as third:
+                        assert third.ping()
+                    break
+                except ConnectionFailure:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.02)
+
+    def test_standalone_backend(self):
+        from repro.documentstore import DocumentStoreClient
+
+        backend = DocumentStoreClient()
+        backend["db"]["events"].insert_many([{"n": i} for i in range(10)])
+        with DocumentStoreServer(backend, port=0) as server:
+            with RemoteClient(server.address) as client:
+                assert client["db"]["events"].count_documents({"n": {"$gte": 5}}) == 5
+                status = client.server_status()
+                assert status["deployment"] == "standalone"
+                assert "router" not in status
+                assert client["db"].list_collection_names() == ["events"]
