@@ -1,0 +1,272 @@
+"""Measure what durability costs — and what it must not cost.
+
+Run directly (``PYTHONPATH=src python benchmarks/durability_bench.py``) to
+measure three things about the storage engine:
+
+* **Recovery time vs dataset size** — load N documents durably, abandon the
+  process model (no clean close, the SIGKILL shape), and time how long a
+  fresh client takes to replay the WAL back to the acknowledged state; then
+  the same dataset recovered from a checkpoint snapshot instead of a log.
+
+* **WAL overhead per fsync policy** — acknowledged batched-insert
+  throughput for the in-memory baseline against ``fsync="off"``,
+  ``"batch"`` (group commit), and ``"always"`` (fsync per batch).
+
+* **Read/aggregation neutrality** — the same indexed find and ``$group``
+  aggregation on an in-memory store and a durable one.  Logging rides the
+  write path only; reads must not regress.
+
+``--smoke`` shrinks every scale for CI; ``--json PATH`` writes the
+machine-readable results (the checked-in copy lives at
+``benchmarks/results/BENCH_durability.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.documentstore import DocumentStoreClient
+
+FULL_RECOVERY_SCALES = (1_000, 10_000, 100_000)
+SMOKE_RECOVERY_SCALES = (200, 1_000)
+FULL_POLICY_DOCS = 20_000
+SMOKE_POLICY_DOCS = 1_000
+FULL_READ_DOCS = 50_000
+SMOKE_READ_DOCS = 2_000
+BATCH = 1_000
+#: Smaller batches for the fsync-policy comparison: one WAL record (and,
+#: under ``always``, one fsync) per 100 documents makes the sync cost visible.
+POLICY_BATCH = 100
+
+
+def make_documents(count: int) -> list[dict]:
+    return [
+        {
+            "_id": i,
+            "store": i % 500,
+            "quantity": (i * 7) % 100 + 1,
+            "price": round((i % 997) * 0.5, 2),
+            "tags": [i % 7, i % 11],
+        }
+        for i in range(count)
+    ]
+
+
+def load_in_batches(
+    client: DocumentStoreClient, documents: list[dict], batch: int = BATCH
+) -> float:
+    collection = client.bench.sales
+    started = time.perf_counter()
+    for offset in range(0, len(documents), batch):
+        collection.insert_many(documents[offset : offset + batch])
+    return time.perf_counter() - started
+
+
+def bench_recovery(scales) -> list[dict]:
+    """Load, abandon, reopen: the crash-restart cost at each dataset size."""
+    results = []
+    for count in scales:
+        documents = make_documents(count)
+        for mode in ("wal_replay", "snapshot_restore"):
+            workdir = pathlib.Path(tempfile.mkdtemp(prefix="durability-bench-"))
+            try:
+                client = DocumentStoreClient(data_dir=workdir / "data", fsync="batch")
+                load_seconds = load_in_batches(client, documents)
+                if mode == "snapshot_restore":
+                    client.checkpoint()
+                # Flush the acked state; no checkpoint-on-close exists, so this
+                # leaves exactly what a crash after the last ack leaves.
+                client.close()
+                del client
+                gc.collect()  # keep collector pauses out of the timed reopen
+
+                started = time.perf_counter()
+                survivor = DocumentStoreClient(data_dir=workdir / "data")
+                open_seconds = time.perf_counter() - started
+                report = survivor.engine.recovery_report
+                assert survivor.bench.sales.count_documents({}) == count
+                results.append(
+                    {
+                        "documents": count,
+                        "mode": mode,
+                        "load_seconds": round(load_seconds, 4),
+                        "recover_seconds": round(open_seconds, 4),
+                        "replay_seconds": round(report.replay_seconds, 4),
+                        "records_replayed": report.records_replayed,
+                        "snapshot_documents": report.snapshot_documents,
+                    }
+                )
+                survivor.close()
+            finally:
+                shutil.rmtree(workdir, ignore_errors=True)
+    return results
+
+
+def bench_fsync_policies(count: int) -> list[dict]:
+    """Acknowledged insert throughput per durability level."""
+    documents = make_documents(count)
+    # Warm the code and filesystem paths so the first measured policy does
+    # not pay one-time costs (imports, page-cache, tempdir creation).
+    warm = pathlib.Path(tempfile.mkdtemp(prefix="durability-bench-"))
+    try:
+        client = DocumentStoreClient(data_dir=warm / "data", fsync="always")
+        load_in_batches(client, documents[: min(2_000, count)], batch=POLICY_BATCH)
+        client.close()
+    finally:
+        shutil.rmtree(warm, ignore_errors=True)
+    gc.collect()
+    results = []
+    for policy in ("in-memory", "off", "batch", "always"):
+        workdir = pathlib.Path(tempfile.mkdtemp(prefix="durability-bench-"))
+        try:
+            if policy == "in-memory":
+                client = DocumentStoreClient()
+            else:
+                client = DocumentStoreClient(data_dir=workdir / "data", fsync=policy)
+            seconds = load_in_batches(client, documents, batch=POLICY_BATCH)
+            entry = {
+                "policy": policy,
+                "documents": count,
+                "seconds": round(seconds, 4),
+                "docs_per_second": round(count / seconds),
+            }
+            if client.engine is not None:
+                counters = client.engine.counters
+                entry["fsync_calls"] = counters.fsync_calls
+                entry["wal_bytes"] = counters.bytes_appended
+            client.close()
+            results.append(entry)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        gc.collect()
+    return results
+
+
+def bench_reads(count: int) -> dict:
+    """Indexed find + $group aggregation, in-memory vs durable."""
+    documents = make_documents(count)
+    pipeline = [
+        {"$match": {"quantity": {"$gte": 50}}},
+        {"$group": {"_id": "$store", "revenue": {"$sum": "$price"}}},
+        {"$sort": {"revenue": -1}},
+        {"$limit": 10},
+    ]
+    timings: dict[str, dict[str, float]] = {}
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="durability-bench-"))
+    try:
+        for label in ("in_memory", "durable"):
+            if label == "in_memory":
+                client = DocumentStoreClient()
+            else:
+                client = DocumentStoreClient(data_dir=workdir / "data", fsync="batch")
+            collection = client.bench.sales
+            with collection.bulk_load():
+                collection.create_index("store")
+                for offset in range(0, count, BATCH):
+                    collection.insert_many(documents[offset : offset + BATCH])
+            gc.collect()  # measure the reads, not leftover allocator work
+
+            started = time.perf_counter()
+            found = len(list(collection.find({"store": {"$lt": 50}})))
+            find_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            grouped = collection.aggregate(pipeline)
+            agg_seconds = time.perf_counter() - started
+
+            assert found > 0 and len(grouped) == 10
+            timings[label] = {
+                "find_seconds": round(find_seconds, 4),
+                "aggregate_seconds": round(agg_seconds, 4),
+            }
+            client.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "documents": count,
+        **timings,
+        "find_ratio_durable_over_memory": round(
+            timings["durable"]["find_seconds"] / timings["in_memory"]["find_seconds"], 2
+        ),
+        "aggregate_ratio_durable_over_memory": round(
+            timings["durable"]["aggregate_seconds"]
+            / timings["in_memory"]["aggregate_seconds"],
+            2,
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized scales")
+    parser.add_argument("--json", type=pathlib.Path, help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    recovery_scales = SMOKE_RECOVERY_SCALES if args.smoke else FULL_RECOVERY_SCALES
+    policy_docs = SMOKE_POLICY_DOCS if args.smoke else FULL_POLICY_DOCS
+    read_docs = SMOKE_READ_DOCS if args.smoke else FULL_READ_DOCS
+
+    print(f"recovery_scales={recovery_scales} policy_docs={policy_docs:,} read_docs={read_docs:,}")
+
+    recovery = bench_recovery(recovery_scales)
+    for row in recovery:
+        print(
+            f"recover {row['documents']:>7,} docs via {row['mode']:<16}  "
+            f"load={row['load_seconds']:7.3f} s  "
+            f"recover={row['recover_seconds']:7.3f} s  "
+            f"(replay={row['replay_seconds']:7.3f} s, "
+            f"records={row['records_replayed']:,})"
+        )
+
+    policies = bench_fsync_policies(policy_docs)
+    baseline = policies[0]["seconds"]
+    for row in policies:
+        overhead = (row["seconds"] / baseline - 1.0) * 100.0
+        extras = (
+            f"  fsyncs={row['fsync_calls']:>4}  wal={row['wal_bytes']:>12,} B"
+            if "fsync_calls" in row
+            else ""
+        )
+        print(
+            f"insert {row['documents']:>7,} docs, fsync={row['policy']:<9}  "
+            f"wall={row['seconds']:7.3f} s  ({row['docs_per_second']:>9,} docs/s, "
+            f"{overhead:+6.1f}% vs memory){extras}"
+        )
+
+    reads = bench_reads(read_docs)
+    print(
+        f"reads  {reads['documents']:>7,} docs  "
+        f"find durable/memory={reads['find_ratio_durable_over_memory']:.2f}x  "
+        f"aggregate durable/memory={reads['aggregate_ratio_durable_over_memory']:.2f}x"
+    )
+
+    if args.json:
+        payload = {
+            "bench": "durability",
+            "source": "benchmarks/durability_bench.py",
+            "pr": "PR 9: durable storage engine",
+            "config": {
+                "smoke": args.smoke,
+                "recovery_scales": list(recovery_scales),
+                "policy_docs": policy_docs,
+                "read_docs": read_docs,
+                "batch": BATCH,
+            },
+            "recovery": recovery,
+            "fsync_policies": policies,
+            "reads": reads,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

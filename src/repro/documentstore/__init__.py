@@ -41,14 +41,17 @@ from .errors import (
     DocumentStoreError,
     DocumentTooLargeError,
     DuplicateKeyError,
+    DurabilityError,
     IndexNotFoundError,
     InvalidDocumentError,
     InvalidOperator,
     InvalidPipelineError,
     InvalidUpdateError,
     OperationFailure,
+    RecoveryError,
     ShardingError,
     ShardKeyError,
+    SnapshotCorruptError,
 )
 from .expressions import compile_expression, evaluate_expression
 from .findspec import FindSpec, projection_preserves_fields
@@ -64,7 +67,16 @@ from .matching import (
 from .objectid import ObjectId
 from .ordering import document_sort_key, sort_key
 from .planner import QueryPlan, plan_find, plan_query
-from .storage import dump_collection, dump_database, load_collection, load_database
+from .recovery import RecoveryReport, recover
+from .snapshot import load_snapshot, write_snapshot
+from .storage import (
+    StorageEngine,
+    dump_collection,
+    dump_database,
+    load_collection,
+    load_database,
+)
+from .wal import WriteAheadLog, decode_records, encode_record
 
 __all__ = [
     "ASCENDING",
@@ -83,6 +95,7 @@ __all__ = [
     "DocumentStoreError",
     "DocumentTooLargeError",
     "DuplicateKeyError",
+    "DurabilityError",
     "FindSpec",
     "Index",
     "IndexNotFoundError",
@@ -96,35 +109,45 @@ __all__ = [
     "ObjectId",
     "OperationFailure",
     "QueryPlan",
+    "RecoveryError",
+    "RecoveryReport",
     "ShardKeyError",
     "ShardingError",
+    "SnapshotCorruptError",
     "CompiledPipeline",
     "StageStats",
+    "StorageEngine",
     "UpdateResult",
+    "WriteAheadLog",
     "compare_values",
     "compile_expression",
     "compile_matcher",
     "compile_pipeline",
     "decode_document",
+    "decode_records",
     "document_size",
     "document_sort_key",
     "dump_collection",
     "dump_database",
     "encode_document",
+    "encode_record",
     "evaluate_expression",
     "hashed_value",
     "load_collection",
     "load_database",
+    "load_snapshot",
     "matches",
     "matches_document",
     "optimize_pipeline",
     "plan_find",
     "plan_query",
     "projection_preserves_fields",
+    "recover",
     "resolve_path",
     "resolve_path_single",
     "run_pipeline",
     "sort_key",
     "split_pipeline_for_shards",
     "validate_document",
+    "write_snapshot",
 ]

@@ -152,6 +152,23 @@ class Collection:
         """Return collection statistics."""
         return CollectionStats(self)
 
+    # ------------------------------------------------------------- durability
+
+    def _write_log(self, record: dict[str, Any]) -> None:
+        """Append one write record to the owning client's WAL, if any.
+
+        Called *after* the in-memory apply and *before* the operation
+        returns, so an acknowledgement implies the record met the engine's
+        fsync policy.  Free-standing collections and clients without a data
+        directory skip straight through.
+        """
+        database = self._database
+        if database is None:
+            return
+        engine = database.storage_engine
+        if engine is not None:
+            engine.log(database.name, self.name, record)
+
     # --------------------------------------------------------------- indexes
 
     def create_index(
@@ -176,14 +193,22 @@ class Collection:
         spec = IndexSpec.from_key_specification(keys, unique=unique, name=name)
         if spec.name in self._indexes:
             return spec.name
+        ddl_record = {
+            "op": "create_index",
+            "keys": [list(pair) for pair in spec.keys],
+            "unique": spec.unique,
+            "name": spec.name,
+        }
         index = Index(spec)
         if defer or self._defer_secondary_indexes:
             self._indexes[spec.name] = index
             self._pending_index_builds.add(spec.name)
+            self._write_log(ddl_record)
             return spec.name
         if self._documents:
             index.rebuild(self._documents.items())
         self._indexes[spec.name] = index
+        self._write_log(ddl_record)
         return spec.name
 
     def rebuild_indexes(self) -> list[str]:
@@ -258,6 +283,7 @@ class Collection:
             raise IndexNotFoundError(name)
         del self._indexes[name]
         self._pending_index_builds.discard(name)
+        self._write_log({"op": "drop_index", "name": name})
 
     def index_information(self) -> dict[str, dict[str, Any]]:
         """Describe every index on the collection."""
@@ -301,6 +327,7 @@ class Collection:
         prepared = self._prepare_for_insert(document)
         self._insert_prepared(prepared)
         self.operation_counters["inserts"] += 1
+        self._write_log({"op": "insert", "docs": [prepared]})
         return InsertOneResult(inserted_id=prepared["_id"])
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertManyResult:
@@ -321,10 +348,20 @@ class Collection:
         try:
             self._bulk_insert_prepared(prepared)
             self.operation_counters["inserts"] += len(prepared)
+            self._write_log({"op": "insert", "docs": prepared})
         except DuplicateKeyError:
-            for document in prepared:
-                self._insert_prepared(document)
-                self.operation_counters["inserts"] += 1
+            inserted = 0
+            try:
+                for document in prepared:
+                    self._insert_prepared(document)
+                    self.operation_counters["inserts"] += 1
+                    inserted += 1
+            finally:
+                # Ordered mode stores the prefix before the duplicate; the
+                # WAL must cover exactly that stored prefix even though the
+                # error propagates to the caller.
+                if inserted:
+                    self._write_log({"op": "insert", "docs": prepared[:inserted]})
         return InsertManyResult(inserted_ids=[document["_id"] for document in prepared])
 
     def _maintained_index_items(self) -> list[tuple[str, Index]]:
@@ -643,6 +680,7 @@ class Collection:
                     validate_update_values(list(changes.values()))
         matched = 0
         modified = 0
+        changed_documents: list[dict[str, Any]] = []
         for doc_id in list(candidate_ids):
             document = self._documents.get(doc_id)
             if document is None or not predicate(document):
@@ -659,6 +697,7 @@ class Collection:
                 for index in affected_indexes:
                     index.replace(document, new_document, doc_id)
                 self._documents[doc_id] = new_document
+                changed_documents.append(new_document)
                 modified += 1
                 if self._defer_secondary_indexes:
                     self._deferred_writes = True
@@ -672,7 +711,13 @@ class Collection:
             validate_document(seed)
             self._insert_prepared(seed)
             upserted_id = seed["_id"]
+            changed_documents.append(seed)
         self.operation_counters["updates"] += 1
+        if changed_documents:
+            # Physical redo: the full post-image of every changed document.
+            # Replay is then deterministic even for $currentDate-style
+            # operators and plan-order-dependent update_one targets.
+            self._write_log({"op": "apply", "docs": changed_documents})
         return UpdateResult(matched_count=matched, modified_count=modified, upserted_id=upserted_id)
 
     def update_one(
@@ -715,6 +760,7 @@ class Collection:
         predicate = compile_matcher(query)
         _plan, candidate_ids = self._candidate_ids(query)
         deleted = 0
+        deleted_ids: list[Any] = []
         for doc_id in list(candidate_ids):
             document = self._documents.get(doc_id)
             if document is None or not predicate(document):
@@ -723,11 +769,14 @@ class Collection:
                 index.remove(document, doc_id)
             del self._documents[doc_id]
             deleted += 1
+            deleted_ids.append(document.get("_id"))
             if self._defer_secondary_indexes:
                 self._deferred_writes = True
             if not multi:
                 break
         self.operation_counters["deletes"] += 1
+        if deleted_ids:
+            self._write_log({"op": "delete", "ids": deleted_ids})
         return DeleteResult(deleted_count=deleted)
 
     def delete_one(self, query: Mapping[str, Any] | None) -> DeleteResult:
@@ -746,6 +795,7 @@ class Collection:
         self._indexes = {"_id_": self._id_index}
         self._pending_index_builds.clear()
         self._deferred_writes = False
+        self._write_log({"op": "drop_collection"})
 
     # ----------------------------------------------------------- aggregation
 

@@ -64,6 +64,18 @@ class IndexNotFoundError(DocumentStoreError):
     """An index name was referenced that does not exist on the collection."""
 
 
+class DurabilityError(DocumentStoreError):
+    """Base class for storage-engine (WAL/snapshot/recovery) errors."""
+
+
+class SnapshotCorruptError(DurabilityError):
+    """A snapshot file is unreadable, truncated, or missing its footer."""
+
+
+class RecoveryError(DurabilityError):
+    """A data directory could not be recovered into a consistent state."""
+
+
 class ShardingError(DocumentStoreError):
     """Base class for sharded-cluster errors."""
 

@@ -1,38 +1,75 @@
-"""On-disk persistence for databases and collections.
+"""On-disk persistence: dumps, and the durable storage engine facade.
 
-The in-memory store can be dumped to and restored from a directory of
-JSON-lines files (one file per collection).  The harness uses this to cache
-generated datasets between benchmark runs, and the examples use it to show a
-complete load / persist / reload cycle.
+Two persistence layers live here:
+
+* **Dumps** — ``dump_collection``/``dump_database`` write JSON-lines images
+  of collections for the benchmark harness and examples.  Dumps are written
+  crash-safely (temp file → fsync → atomic rename), and loads tolerate a
+  trailing torn/corrupt line the way WAL recovery tolerates a torn tail.
+
+* **The engine** — :class:`StorageEngine` gives one
+  :class:`~repro.documentstore.client.DocumentStoreClient` real durability:
+  every acknowledged write batch appends one checksummed record to a
+  write-ahead log (:mod:`repro.documentstore.wal`), periodic checkpoints
+  write an atomic snapshot and truncate the log
+  (:mod:`repro.documentstore.snapshot`), and construction over an existing
+  data directory replays the store back to exactly the acknowledged state
+  (:mod:`repro.documentstore.recovery`).
+
+The engine logs *after* the in-memory apply and acknowledges only after the
+record is as durable as its fsync policy promises — ``always`` makes every
+acknowledged batch crash-proof, ``batch`` group-commits, ``off`` defers to
+the page cache.  Records are physical redo (full documents by ``_id``), so
+replay is deterministic and idempotent regardless of query-plan or
+``$currentDate``-style nondeterminism in the original operation.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import threading
+import warnings
 from typing import Any, Iterable
 
 from .bson import decode_document, encode_document
 from .collection import Collection, bulk_load_or_noop
 from .database import Database
+from .errors import OperationFailure
+from .recovery import RecoveryReport, recover, snapshot_path, wal_path
+from .snapshot import atomic_writer, write_snapshot
+from .wal import (
+    DEFAULT_BATCH_FSYNC_EVERY,
+    REAL_FS,
+    FileSystem,
+    WalCounters,
+    WriteAheadLog,
+    wal_status,
+)
 
 __all__ = [
+    "StorageEngine",
     "dump_collection",
     "load_collection",
     "dump_database",
     "load_database",
 ]
 
+#: Checkpoint (snapshot + WAL truncation) once the log grows past this size.
+DEFAULT_AUTO_CHECKPOINT_BYTES = 64 * 1024 * 1024
+
 
 def dump_collection(collection: Collection, path: str | pathlib.Path) -> int:
     """Write every document of *collection* to *path* as JSON lines.
 
+    The dump is crash-safe: bytes stream to ``<path>.tmp``, are fsynced, and
+    the temp file is atomically renamed over *path* — a crash mid-dump leaves
+    the previous dump (or nothing), never a partial file at the target.
     Returns the number of documents written.
     """
     target = pathlib.Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
     count = 0
-    with target.open("wb") as handle:
+    with atomic_writer(target) as handle:
         for document in collection.raw_documents():
             handle.write(encode_document(document))
             handle.write(b"\n")
@@ -51,17 +88,36 @@ def load_collection(
     Batches ride the collection's bulk insert path, and secondary-index
     maintenance is deferred for the whole load (``bulk_load``) when the
     target supports it — routed collections simply take batched inserts.
-    Returns the number of documents inserted.
+
+    A *trailing* partial or corrupt line — the shape a crash mid-append
+    leaves behind — is skipped with a warning, matching the WAL's torn-tail
+    semantics.  A corrupt line *followed by valid data* is not a torn tail
+    and raises, because silently dropping interior documents would corrupt
+    the dataset.  Returns the number of documents inserted.
     """
     source = pathlib.Path(path)
     count = 0
     with bulk_load_or_noop(collection), source.open("rb") as handle:
         batch: list[dict[str, Any]] = []
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            batch.append(decode_document(line))
+            try:
+                document = decode_document(line)
+            except Exception as exc:
+                if any(rest.strip() for rest in handle):
+                    raise OperationFailure(
+                        f"{source}:{line_number}: corrupt document mid-file "
+                        f"(not a torn tail): {exc}"
+                    ) from exc
+                warnings.warn(
+                    f"{source}:{line_number}: skipped 1 trailing partial/corrupt "
+                    f"line (torn tail): {exc}",
+                    stacklevel=2,
+                )
+                break
+            batch.append(document)
             count += 1
             if len(batch) >= batch_size:
                 collection.insert_many(batch)
@@ -74,8 +130,10 @@ def load_collection(
 def dump_database(database: Database, directory: str | pathlib.Path) -> dict[str, int]:
     """Dump every collection of *database* into *directory*.
 
-    Also writes a small ``__manifest__.json`` describing the dump.  Returns a
-    mapping of collection name to document count.
+    Also writes a small ``__manifest__.json`` describing the dump; every
+    file (collections and manifest) is written with the atomic
+    temp-fsync-rename pattern.  Returns a mapping of collection name to
+    document count.
     """
     target = pathlib.Path(directory)
     target.mkdir(parents=True, exist_ok=True)
@@ -92,7 +150,8 @@ def dump_database(database: Database, directory: str | pathlib.Path) -> dict[str
                 if index_name != "_id_"
             },
         }
-    (target / "__manifest__.json").write_text(json.dumps(manifest, indent=2))
+    with atomic_writer(target / "__manifest__.json") as handle:
+        handle.write(json.dumps(manifest, indent=2).encode("utf-8"))
     return counts
 
 
@@ -120,3 +179,182 @@ def iter_jsonl(path: str | pathlib.Path) -> Iterable[dict[str, Any]]:
             line = line.strip()
             if line:
                 yield decode_document(line)
+
+
+# ---------------------------------------------------------------------------
+# The durable storage engine.
+# ---------------------------------------------------------------------------
+
+
+class StorageEngine:
+    """WAL + snapshot + recovery for one client's data directory.
+
+    Lifecycle::
+
+        engine = StorageEngine(data_dir, fsync="always")
+        engine.attach(client)   # recovers existing state, then starts logging
+
+    ``attach`` is what ``DocumentStoreClient(data_dir=...)`` performs during
+    construction.  After it returns, every write batch the client
+    acknowledges has been appended to the active WAL segment;
+    :meth:`checkpoint` compacts the log behind an atomic snapshot, and
+    :meth:`flush` forces group-committed records to disk (the server calls
+    it on graceful drain).
+
+    The engine is thread-safe: appends serialize on the WAL's lock and
+    checkpoints take the engine lock, so a snapshot is always consistent
+    with a log position.  Replay being idempotent makes the
+    mutate-then-log window harmless across a checkpoint.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | pathlib.Path,
+        *,
+        fsync: str = "batch",
+        batch_fsync_every: int = DEFAULT_BATCH_FSYNC_EVERY,
+        auto_checkpoint_bytes: int | None = DEFAULT_AUTO_CHECKPOINT_BYTES,
+        fs: FileSystem = REAL_FS,
+    ) -> None:
+        self.data_dir = pathlib.Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.batch_fsync_every = batch_fsync_every
+        self.auto_checkpoint_bytes = auto_checkpoint_bytes
+        self.counters = WalCounters()
+        self.checkpoints = 0
+        self.recovery_report: RecoveryReport | None = None
+        self._fs = fs
+        self._lock = threading.RLock()
+        self._wal: WriteAheadLog | None = None
+        self._client: Any = None
+        self._generation = 0
+        self._enabled = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, client: Any) -> RecoveryReport:
+        """Recover *client* from the data directory and start logging."""
+        with self._lock:
+            if self._client is not None:
+                raise OperationFailure("storage engine is already attached")
+            self._client = client
+            # Replay must not re-log: logging stays disabled until the
+            # store matches the acknowledged on-disk state.
+            report = recover(client, self.data_dir, fs=self._fs)
+            self.recovery_report = report
+            self._generation = report.generation
+            self._wal = self._open_wal(report.generation)
+            self._enabled = True
+            return report
+
+    def _open_wal(self, generation: int) -> WriteAheadLog:
+        return WriteAheadLog(
+            wal_path(self.data_dir, generation),
+            fsync=self.fsync_policy,
+            batch_fsync_every=self.batch_fsync_every,
+            fs=self._fs,
+            counters=self.counters,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True while the engine is attached and accepting records."""
+        return self._enabled
+
+    @property
+    def generation(self) -> int:
+        """The current snapshot/WAL generation."""
+        return self._generation
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The active WAL segment (``None`` before attach / after close)."""
+        return self._wal
+
+    def flush(self) -> None:
+        """Force every appended record to stable storage (any fsync policy)."""
+        with self._lock:
+            if self._wal is not None:
+                self._wal.flush()
+
+    def close(self) -> None:
+        """Flush and stop logging; the data directory stays recoverable."""
+        with self._lock:
+            self._enabled = False
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    # ---------------------------------------------------------------- logging
+
+    def log(self, database_name: str, collection_name: str | None, record: dict[str, Any]) -> None:
+        """Append one write record; returns once it meets the fsync policy."""
+        if not self._enabled:
+            return
+        payload = encode_document(
+            {"db": database_name, "coll": collection_name, **record}
+        )
+        with self._lock:
+            wal = self._wal
+            if not self._enabled or wal is None:
+                return
+            wal.append(payload)
+            if (
+                self.auto_checkpoint_bytes is not None
+                and wal.size >= self.auto_checkpoint_bytes
+            ):
+                self._checkpoint_locked()
+
+    # ------------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> int:
+        """Snapshot the store and truncate the WAL; returns the new generation.
+
+        Crash-safe at every step (the fault-injection suite enumerates
+        them): the snapshot appears atomically, a new WAL generation starts
+        before the old one is deleted, and recovery resolves any
+        intermediate state to exactly the acknowledged data.
+        """
+        with self._lock:
+            if self._client is None or self._wal is None:
+                raise OperationFailure("storage engine is not attached")
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
+        old_generation = self._generation
+        new_generation = old_generation + 1
+        write_snapshot(
+            self._client,
+            snapshot_path(self.data_dir, new_generation),
+            generation=new_generation,
+            fs=self._fs,
+        )
+        old_wal = self._wal
+        self._wal = self._open_wal(new_generation)
+        self._fs.fsync_dir(self.data_dir)
+        self._generation = new_generation
+        if old_wal is not None:
+            old_wal.close()
+            self._fs.remove(old_wal.path)
+        self._fs.remove(snapshot_path(self.data_dir, old_generation))
+        self.checkpoints += 1
+        return new_generation
+
+    # ------------------------------------------------------------------ stats
+
+    def status(self) -> dict[str, Any]:
+        """Durability counters and recovery cost (``serverStatus`` surface)."""
+        with self._lock:
+            status: dict[str, Any] = {
+                "active": self._enabled,
+                "data_dir": str(self.data_dir),
+                "fsync_policy": self.fsync_policy,
+                "generation": self._generation,
+                "checkpoints": self.checkpoints,
+                **self.counters.snapshot(),
+                "wal": wal_status(self._wal),
+            }
+            if self.recovery_report is not None:
+                status["recovery"] = self.recovery_report.as_dict()
+            return status

@@ -16,8 +16,10 @@ from .chunks import (
     MaxKey,
     MinKey,
     ShardKeyPattern,
+    decode_boundary,
+    encode_boundary,
 )
-from .cluster import ShardedCluster
+from .cluster import CLUSTER_METADATA_FILE, ShardedCluster
 from .config_server import ConfigServer
 from .executor import (
     EXECUTOR_MODES,
@@ -41,6 +43,7 @@ from .shard import Shard, ShardDescription
 
 __all__ = [
     "Balancer",
+    "CLUSTER_METADATA_FILE",
     "Chunk",
     "ChunkManager",
     "ClusterSizingInputs",
@@ -68,6 +71,8 @@ __all__ = [
     "ShardTimeoutError",
     "ShardedCluster",
     "SimulatedNetwork",
+    "decode_boundary",
+    "encode_boundary",
     "recommend_shard_count",
     "shards_for_disk_storage",
     "shards_for_iops",

@@ -27,6 +27,8 @@ __all__ = [
     "ShardKeyPattern",
     "Chunk",
     "ChunkManager",
+    "encode_boundary",
+    "decode_boundary",
 ]
 
 #: Default maximum chunk size (64 MB), as in the paper.
@@ -49,6 +51,34 @@ class MaxKey:
 
 MIN_KEY = MinKey()
 MAX_KEY = MaxKey()
+
+
+def encode_boundary(value: Any) -> Any:
+    """Encode a chunk-boundary value for the persisted cluster metadata.
+
+    The sentinels and tuple boundaries (compound shard keys) have no JSON
+    shape of their own, so they travel under ``$``-prefixed markers; every
+    other value rides the store's extended-JSON encoding unchanged.
+    """
+    if isinstance(value, MinKey):
+        return {"$minKey": 1}
+    if isinstance(value, MaxKey):
+        return {"$maxKey": 1}
+    if isinstance(value, tuple):
+        return {"$tuple": [encode_boundary(item) for item in value]}
+    return value
+
+
+def decode_boundary(value: Any) -> Any:
+    """Invert :func:`encode_boundary`."""
+    if isinstance(value, Mapping):
+        if "$minKey" in value:
+            return MIN_KEY
+        if "$maxKey" in value:
+            return MAX_KEY
+        if "$tuple" in value:
+            return tuple(decode_boundary(item) for item in value["$tuple"])
+    return value
 
 
 def compare_boundary(left: Any, right: Any) -> int:
@@ -176,6 +206,31 @@ class Chunk:
             "size": self.size_bytes,
             "jumbo": self.jumbo,
         }
+
+    def to_metadata(self) -> dict[str, Any]:
+        """Serializable chunk state, including sampled split-point keys."""
+        return {
+            "min": encode_boundary(self.lower),
+            "max": encode_boundary(self.upper),
+            "shard": self.shard_id,
+            "count": self.document_count,
+            "size": self.size_bytes,
+            "jumbo": self.jumbo,
+            "samples": [encode_boundary(sample) for sample in self.key_samples],
+        }
+
+    @classmethod
+    def from_metadata(cls, data: Mapping[str, Any]) -> "Chunk":
+        """Rebuild a chunk from :meth:`to_metadata` output."""
+        return cls(
+            lower=decode_boundary(data["min"]),
+            upper=decode_boundary(data["max"]),
+            shard_id=str(data["shard"]),
+            document_count=int(data.get("count") or 0),
+            size_bytes=int(data.get("size") or 0),
+            jumbo=bool(data.get("jumbo")),
+            key_samples=[decode_boundary(sample) for sample in data.get("samples") or []],
+        )
 
 
 class _BoundarySortKey:
@@ -393,3 +448,29 @@ class ChunkManager:
             "unique": False,
             "chunks": [chunk.describe() for chunk in self.chunks],
         }
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_metadata(self) -> dict[str, Any]:
+        """The full chunk table as a serializable document."""
+        return {
+            "ns": self.namespace,
+            "key": {"fields": list(self.shard_key.fields), "hashed": self.shard_key.hashed},
+            "chunk_size_bytes": self.chunk_size_bytes,
+            "shard_ids": list(self._shard_ids),
+            "chunks": [chunk.to_metadata() for chunk in self.chunks],
+        }
+
+    @classmethod
+    def from_metadata(cls, data: Mapping[str, Any]) -> "ChunkManager":
+        """Rebuild a chunk table from :meth:`to_metadata` output."""
+        key = data["key"]
+        manager = cls.__new__(cls)
+        manager.namespace = str(data["ns"])
+        manager.shard_key = ShardKeyPattern(
+            fields=tuple(key["fields"]), hashed=bool(key["hashed"])
+        )
+        manager.chunk_size_bytes = int(data["chunk_size_bytes"])
+        manager._shard_ids = [str(shard_id) for shard_id in data["shard_ids"]]
+        manager.chunks = [Chunk.from_metadata(chunk) for chunk in data["chunks"]]
+        return manager

@@ -10,8 +10,11 @@ them.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Any, Mapping, Sequence
 
+from ..documentstore.bson import decode_document, encode_document
+from ..documentstore.snapshot import atomic_writer
 from .balancer import Balancer
 from .chunks import ChunkManager
 from .config_server import ConfigServer
@@ -20,7 +23,10 @@ from .network import NetworkModel, SimulatedNetwork
 from .router import QueryRouter, RoutedDatabase
 from .shard import Shard, ShardDescription
 
-__all__ = ["ShardedCluster"]
+__all__ = ["ShardedCluster", "CLUSTER_METADATA_FILE"]
+
+#: File inside a cluster data directory holding the config-server catalogue.
+CLUSTER_METADATA_FILE = "cluster_metadata.json"
 
 
 class ShardedCluster:
@@ -33,6 +39,18 @@ class ShardedCluster:
     forked process pool (see :mod:`repro.sharding.executor`).
     ``scatter_policy`` sets the default per-operation deadline and timeout
     policy for every routed operation.
+
+    With a ``data_dir`` the cluster is durable: each shard keeps its own
+    WAL/snapshot generation under ``<data_dir>/<shard_id>/`` (recovered when
+    the shard is constructed), and the config-server catalogue — shard
+    registry, database primaries, chunk tables — is persisted atomically to
+    ``<data_dir>/cluster_metadata.json`` at every metadata-changing step
+    (``enable_sharding``, ``shard_collection``, ``balance``) and on
+    ``close``.  Reopening the same directory with the same topology restores
+    routing and per-shard data to the acknowledged state.  A crash *during*
+    a balancer round can leave metadata one round behind; that is safe for
+    routing (chunk splits never move documents, and migrations re-run from
+    the previous metadata), just not for balance evenness.
     """
 
     def __init__(
@@ -45,6 +63,8 @@ class ShardedCluster:
         executor_mode: str = "thread",
         max_workers: int | None = None,
         scatter_policy: ScatterPolicy | None = None,
+        data_dir: str | pathlib.Path | None = None,
+        fsync: str = "batch",
     ) -> None:
         if shard_descriptions is not None:
             descriptions = list(shard_descriptions)
@@ -56,13 +76,18 @@ class ShardedCluster:
             raise ValueError("a cluster needs at least one shard")
 
         self.name = name
+        self.data_dir = pathlib.Path(data_dir) if data_dir is not None else None
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
         self.network = SimulatedNetwork(network_model)
         self.config_server = ConfigServer()
         self.shards: list[Shard] = []
         for description in descriptions:
-            shard = Shard(description.shard_id, description)
+            shard_dir = self.data_dir / description.shard_id if self.data_dir else None
+            shard = Shard(description.shard_id, description, data_dir=shard_dir, fsync=fsync)
             self.shards.append(shard)
             self.config_server.add_shard(shard.shard_id)
+        self._restore_metadata()
         self.router = QueryRouter(
             self.config_server,
             self.shards,
@@ -76,6 +101,52 @@ class ShardedCluster:
             {shard.shard_id: shard for shard in self.shards},
             self.network,
         )
+
+    # ---------------------------------------------------------------- durability
+
+    @property
+    def metadata_path(self) -> pathlib.Path | None:
+        """Where the config-server catalogue is persisted (``None`` in-memory)."""
+        if self.data_dir is None:
+            return None
+        return self.data_dir / CLUSTER_METADATA_FILE
+
+    def _restore_metadata(self) -> None:
+        path = self.metadata_path
+        if path is None or not path.exists():
+            return
+        metadata = decode_document(path.read_bytes())
+        self.config_server.restore_metadata(metadata)
+
+    def save_metadata(self) -> None:
+        """Persist the config-server catalogue atomically (no-op in-memory)."""
+        path = self.metadata_path
+        if path is None:
+            return
+        with atomic_writer(path) as handle:
+            handle.write(encode_document(self.config_server.to_metadata()))
+
+    def flush_durability(self) -> None:
+        """Flush every shard's WAL and the cluster metadata."""
+        for shard in self.shards:
+            shard.flush_durability()
+        self.save_metadata()
+
+    def checkpoint(self) -> dict[str, int | None]:
+        """Checkpoint every shard's store; returns shard id → new generation."""
+        generations = {shard.shard_id: shard.checkpoint() for shard in self.shards}
+        self.save_metadata()
+        return generations
+
+    def durability_status(self) -> dict[str, Any]:
+        """Durability counters for the whole cluster, per shard."""
+        return {
+            "active": self.data_dir is not None,
+            "data_dir": str(self.data_dir) if self.data_dir is not None else None,
+            "shards": {
+                shard.shard_id: shard.durability_status() for shard in self.shards
+            },
+        }
 
     # ------------------------------------------------------------------ topology
 
@@ -93,6 +164,7 @@ class ShardedCluster:
     def enable_sharding(self, database_name: str, primary_shard: str | None = None) -> None:
         """Enable sharding for a database (``sh.enableSharding`` analogue)."""
         self.config_server.enable_sharding(database_name, primary_shard)
+        self.save_metadata()
 
     def shard_collection(
         self,
@@ -122,6 +194,7 @@ class ShardedCluster:
             for field in manager.shard_key.fields
         ]
         self.router.create_index(database_name, collection_name, index_keys)
+        self.save_metadata()
         return manager
 
     def get_database(self, name: str) -> RoutedDatabase:
@@ -134,14 +207,18 @@ class ShardedCluster:
     def balance(self) -> None:
         """Run the balancer until every sharded collection is even."""
         self.balancer.balance_all()
+        self.save_metadata()
 
     def reset_metrics(self) -> None:
         """Clear router/network/shard accounting before a measurement."""
         self.router.reset_metrics()
 
     def close(self) -> None:
-        """Shut down the router's scatter worker pool."""
+        """Shut down the scatter pool and flush/close every shard's storage."""
         self.router.close()
+        self.save_metadata()
+        for shard in self.shards:
+            shard.close()
 
     def __enter__(self) -> "ShardedCluster":
         return self

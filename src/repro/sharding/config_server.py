@@ -113,6 +113,42 @@ class ConfigServer:
         """Forget the sharding metadata of a collection (used by drop)."""
         self._collections.pop(self.namespace(database_name, collection_name), None)
 
+    # -- persistence -------------------------------------------------------------
+
+    def to_metadata(self) -> dict[str, Any]:
+        """The whole catalogue as one serializable document."""
+        return {
+            "shards": list(self._shard_ids),
+            "databases": {name: dict(info) for name, info in self._databases.items()},
+            "collections": {
+                namespace: manager.to_metadata()
+                for namespace, manager in self._collections.items()
+            },
+        }
+
+    def restore_metadata(self, data: Mapping[str, Any]) -> None:
+        """Restore the catalogue from :meth:`to_metadata` output.
+
+        The shard registry must already contain every shard the metadata
+        references — the cluster registers its shards before restoring, and
+        metadata naming an unknown shard means the topology changed under
+        the data directory.
+        """
+        known = set(self._shard_ids)
+        missing = [shard_id for shard_id in data.get("shards", []) if shard_id not in known]
+        if missing:
+            raise ShardingError(
+                f"persisted metadata references unknown shards {missing!r}; "
+                "reopen the data directory with the original topology"
+            )
+        self._databases = {
+            str(name): dict(info) for name, info in (data.get("databases") or {}).items()
+        }
+        self._collections = {
+            str(namespace): ChunkManager.from_metadata(manager)
+            for namespace, manager in (data.get("collections") or {}).items()
+        }
+
     # -- reporting ---------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:

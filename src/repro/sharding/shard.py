@@ -10,6 +10,7 @@ execution cost is real work measured on real data structures.
 
 from __future__ import annotations
 
+import pathlib
 import threading
 import time
 from dataclasses import dataclass
@@ -42,10 +43,20 @@ class ShardDescription:
 class Shard:
     """One data-bearing cluster node."""
 
-    def __init__(self, shard_id: str, description: ShardDescription | None = None) -> None:
+    def __init__(
+        self,
+        shard_id: str,
+        description: ShardDescription | None = None,
+        *,
+        data_dir: str | pathlib.Path | None = None,
+        fsync: str = "batch",
+    ) -> None:
         self.shard_id = shard_id
         self.description = description or ShardDescription(shard_id=shard_id)
-        self._client = DocumentStoreClient(name=shard_id)
+        # With a data directory the shard's store is durable: it keeps its
+        # own per-shard WAL/snapshot generation and recovers on construction,
+        # exactly like a stand-alone node.
+        self._client = DocumentStoreClient(name=shard_id, data_dir=data_dir, fsync=fsync)
         # Cumulative busy time, used to derive the parallel (simulated) elapsed
         # time of scatter-gather operations.  Guarded by a lock: concurrent
         # scatters from multiple client threads may account against the same
@@ -75,6 +86,30 @@ class Shard:
     def drop_database(self, database_name: str) -> None:
         """Drop a database from this shard."""
         self._client.drop_database(database_name)
+
+    # -- durability ------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The shard's storage engine (``None`` when in-memory)."""
+        return self._client.engine
+
+    def flush_durability(self) -> None:
+        """Force this shard's WAL to stable storage (no-op when in-memory)."""
+        self._client.flush_durability()
+
+    def checkpoint(self) -> int | None:
+        """Checkpoint this shard's store (no-op when in-memory)."""
+        with self.op_lock:
+            return self._client.checkpoint()
+
+    def durability_status(self) -> dict[str, Any]:
+        """This shard's durability counters."""
+        return self._client.durability_status()
+
+    def close(self) -> None:
+        """Flush and close the shard's storage engine."""
+        self._client.close()
 
     # -- timed execution -------------------------------------------------------
 

@@ -1,0 +1,24 @@
+"""Child process for the SIGKILL test: a durable served store.
+
+Started by ``test_server_durability.py``; prints the bound port on stdout
+and then blocks forever — the parent kills it with SIGKILL mid-traffic.
+"""
+
+import sys
+import threading
+
+from repro.documentstore import DocumentStoreClient
+from repro.server import DocumentStoreServer
+
+
+def main() -> None:
+    data_dir = sys.argv[1]
+    fsync = sys.argv[2] if len(sys.argv) > 2 else "always"
+    backend = DocumentStoreClient(data_dir=data_dir, fsync=fsync)
+    server = DocumentStoreServer(backend, port=0).start()
+    print(server.port, flush=True)
+    threading.Event().wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Make the fault-injection helpers importable as ``import faults``."""
+
+import pathlib
+import sys
+
+_HERE = str(pathlib.Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

@@ -1,0 +1,317 @@
+"""Deterministic fault injection for the durability test suite.
+
+The storage engine performs every file operation through the
+:class:`~repro.documentstore.wal.FileSystem` indirection.  :class:`FaultyFS`
+implements that interface over the real filesystem while
+
+* numbering every state-changing operation (write, fsync, rename,
+  directory fsync, remove, truncate) — each number is a *crash point*;
+* tracking, per file, the **durable watermark**: bytes are durable only
+  once an fsync (or directory fsync, for renames) covered them;
+* killing the process model at a scheduled crash point by raising
+  :class:`SimulatedCrash` and rewriting every tracked file down to what a
+  power loss at that instant could have left behind.
+
+How much of the *unsynced* tail survives a crash is the OS's choice, not
+the program's, so the schedule enumerates the interesting survivals:
+``"none"`` (page cache lost entirely), ``"half"`` (a partial flush — tears
+mid-record), and ``"all"`` (everything written reached disk even without
+fsync).  The ``"partial"`` phase additionally crashes halfway through a
+single ``write`` call, the classic torn-append shape.
+
+Usage pattern (see ``test_crash_recovery.py``)::
+
+    ops = count_operations(workload)            # dry run, no crash
+    for point in enumerate_crash_points(ops):
+        fs = FaultyFS(point)
+        acked = run_to_crash(workload, fs)      # returns acknowledged state
+        ... open the directory with a fresh client and compare ...
+
+Separate helpers inject *byte-level* damage into finished files —
+:func:`tear_tail` truncates mid-record and :func:`flip_byte` simulates bit
+rot — for testing the decoder's corrupt-tail handling without a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Callable, Iterator
+
+from repro.documentstore.wal import FileSystem
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashPoint",
+    "FaultyFS",
+    "count_operations",
+    "enumerate_crash_points",
+    "run_to_crash",
+    "tear_tail",
+    "flip_byte",
+]
+
+#: Unsynced-tail survival modes a crash schedule enumerates.
+SURVIVALS = ("none", "half", "all")
+
+#: Crash phases relative to the scheduled operation.
+PHASES = ("before", "after", "partial")
+
+
+class SimulatedCrash(Exception):
+    """The process died at a scheduled crash point."""
+
+    def __init__(self, point: "CrashPoint", operation: str) -> None:
+        super().__init__(f"simulated crash {point} during {operation}")
+        self.point = point
+        self.operation = operation
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One entry of a crash schedule.
+
+    ``index`` counts state-changing filesystem operations from zero;
+    ``phase`` places the crash before the operation, after it, or (for
+    writes) halfway through it; ``survival`` decides how much of each
+    file's unsynced tail the simulated power loss preserves.
+    """
+
+    index: int
+    phase: str = "before"
+    survival: str = "all"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"op#{self.index}/{self.phase}/keep-{self.survival}"
+
+
+class FaultyFS(FileSystem):
+    """A :class:`FileSystem` that dies on schedule.
+
+    With ``crash_point=None`` it only counts operations (the dry run that
+    sizes the schedule).  After a crash fires, every further operation
+    raises again — a dead process performs no IO — so cleanup paths cannot
+    accidentally repair the injected state.
+    """
+
+    def __init__(self, crash_point: CrashPoint | None = None) -> None:
+        self.crash_point = crash_point
+        self.operations = 0
+        self.dead = False
+        self._paths: dict[int, pathlib.Path] = {}  # id(handle) -> path
+        self._handles: dict[int, BinaryIO] = {}
+        self._written: dict[pathlib.Path, int] = {}  # absolute size written
+        self._durable: dict[pathlib.Path, int] = {}  # fsync watermark
+
+    # ------------------------------------------------------------- crash logic
+
+    def _checkpoint(self, operation: str, *, during: Callable[[], None] | None = None) -> bool:
+        """Advance the operation counter; crash if this is the scheduled point.
+
+        Returns True when the caller should perform the real operation
+        (phase ``"after"`` crashes once it has).  ``during`` runs the
+        partial version of the operation for phase ``"partial"``.
+        """
+        if self.dead:
+            raise SimulatedCrash(self.crash_point, operation)
+        point = self.crash_point
+        index = self.operations
+        self.operations += 1
+        if point is None or index != point.index:
+            return True
+        if point.phase == "before":
+            self._die(operation)
+        if point.phase == "partial" and during is not None:
+            during()
+            self._die(operation)
+        return True  # phase "after": caller performs the op, then _post_op fires
+
+    def _post_op(self, operation: str) -> None:
+        point = self.crash_point
+        if point is not None and self.operations - 1 == point.index and point.phase != "before":
+            self._die(operation)
+
+    def _die(self, operation: str) -> None:
+        """Apply the power-loss state and stop performing IO forever."""
+        self.dead = True
+        for handle_id, handle in list(self._handles.items()):
+            path = self._paths[handle_id]
+            try:
+                handle.flush()  # drain user-space buffers so sizes are real
+            except (OSError, ValueError):  # pragma: no cover - already closed
+                pass
+            written = self._written.get(path, 0)
+            durable = self._durable.get(path, 0)
+            unsynced = max(0, written - durable)
+            if self.crash_point.survival == "none":
+                keep = 0
+            elif self.crash_point.survival == "half":
+                keep = unsynced // 2
+            else:
+                keep = unsynced
+            final = durable + keep
+            if path.exists() and path.stat().st_size > final:
+                with open(path, "r+b") as raw:
+                    raw.truncate(final)
+        raise SimulatedCrash(self.crash_point, operation)
+
+    # --------------------------------------------------------- FileSystem API
+
+    def _track(self, handle: BinaryIO, path: pathlib.Path, size: int) -> BinaryIO:
+        self._paths[id(handle)] = path
+        self._handles[id(handle)] = handle
+        self._written[path] = size
+        # Whatever the file held at open survived the previous epoch.
+        self._durable[path] = size
+        return handle
+
+    def open_append(self, path: str | os.PathLike) -> BinaryIO:
+        if self.dead:
+            raise SimulatedCrash(self.crash_point, "open_append")
+        target = pathlib.Path(path)
+        size = target.stat().st_size if target.exists() else 0
+        return self._track(open(target, "ab"), target, size)
+
+    def open_write(self, path: str | os.PathLike) -> BinaryIO:
+        if self.dead:
+            raise SimulatedCrash(self.crash_point, "open_write")
+        target = pathlib.Path(path)
+        handle = self._track(open(target, "wb"), target, 0)
+        self._durable[target] = 0
+        return handle
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        path = self._paths[id(handle)]
+
+        def partial() -> None:
+            half = data[: len(data) // 2]
+            handle.write(half)
+            self._written[path] = self._written.get(path, 0) + len(half)
+
+        self._checkpoint("write", during=partial)
+        handle.write(data)
+        self._written[path] = self._written.get(path, 0) + len(data)
+        self._post_op("write")
+
+    def fsync(self, handle: BinaryIO) -> None:
+        self._checkpoint("fsync")
+        handle.flush()
+        os.fsync(handle.fileno())
+        path = self._paths[id(handle)]
+        self._durable[path] = self._written.get(path, 0)
+        self._post_op("fsync")
+
+    def close(self, handle: BinaryIO) -> None:
+        if self.dead:
+            raise SimulatedCrash(self.crash_point, "close")
+        handle.close()
+        self._handles.pop(id(handle), None)
+
+    def replace(self, source: str | os.PathLike, target: str | os.PathLike) -> None:
+        self._checkpoint("replace")
+        os.replace(source, target)
+        source_path, target_path = pathlib.Path(source), pathlib.Path(target)
+        for table in (self._written, self._durable):
+            if source_path in table:
+                table[target_path] = table.pop(source_path)
+        self._post_op("replace")
+
+    def fsync_dir(self, path: str | os.PathLike) -> None:
+        self._checkpoint("fsync_dir")
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._post_op("fsync_dir")
+
+    def remove(self, path: str | os.PathLike) -> None:
+        self._checkpoint("remove")
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        self._post_op("remove")
+
+    def truncate(self, path: str | os.PathLike, length: int) -> None:
+        self._checkpoint("truncate")
+        with open(path, "r+b") as handle:
+            handle.truncate(length)
+            handle.flush()
+            os.fsync(handle.fileno())
+        target = pathlib.Path(path)
+        self._written[target] = length
+        self._durable[target] = length
+        self._post_op("truncate")
+
+
+# ---------------------------------------------------------------------------
+# Schedule helpers.
+# ---------------------------------------------------------------------------
+
+
+def count_operations(workload: Callable[[FileSystem], Any]) -> int:
+    """Dry-run *workload* against a non-crashing FaultyFS; returns op count."""
+    fs = FaultyFS(crash_point=None)
+    workload(fs)
+    return fs.operations
+
+
+def enumerate_crash_points(
+    operation_count: int,
+    *,
+    phases: tuple[str, ...] = PHASES,
+    survivals: tuple[str, ...] = SURVIVALS,
+) -> Iterator[CrashPoint]:
+    """Every crash point of a schedule: op index × phase × survival.
+
+    ``"partial"`` only differs from ``"before"`` on write operations, and
+    survival only matters when unsynced bytes exist — the redundant points
+    are cheap enough that exhaustive beats clever here.
+    """
+    for index in range(operation_count):
+        for phase in phases:
+            for survival in survivals:
+                yield CrashPoint(index=index, phase=phase, survival=survival)
+
+
+def run_to_crash(workload: Callable[[FileSystem], Any], fs: FaultyFS) -> Any:
+    """Run *workload* until its scheduled crash; returns the workload result.
+
+    The workload must return its running result (e.g. the list of
+    acknowledged batches, mutated in place) even when the crash interrupts
+    it — the conventional shape is ``def workload(fs, acked=None)`` where
+    the harness inspects ``acked`` afterwards.
+    """
+    try:
+        return workload(fs)
+    except SimulatedCrash:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Byte-level damage (no crash required).
+# ---------------------------------------------------------------------------
+
+
+def tear_tail(path: str | os.PathLike, drop_bytes: int) -> int:
+    """Truncate the final *drop_bytes* off *path*; returns the new size."""
+    target = pathlib.Path(path)
+    size = target.stat().st_size
+    new_size = max(0, size - drop_bytes)
+    with open(target, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def flip_byte(path: str | os.PathLike, offset: int) -> None:
+    """XOR one byte of *path* at *offset* (bit rot / misdirected write)."""
+    target = pathlib.Path(path)
+    with open(target, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if not original:
+            raise ValueError(f"offset {offset} is past the end of {target}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ 0xFF]))
