@@ -1,0 +1,222 @@
+"""Vector search benchmark: exact scan vs IVF, recall vs latency.
+
+Run directly (``PYTHONPATH=src python benchmarks/vector_bench.py``) to
+measure the ``$vectorSearch`` stage end to end on a clustered synthetic
+embedding set:
+
+* **Exact baseline** — the brute-force scan every query pays without IVF:
+  per-query p50/p95 latency at k=10.
+* **IVF sweep** — the same queries at increasing ``nprobe``: recall@10
+  against the exact ranking, p50/p95 latency, vectors actually scored, and
+  the speedup over the exact scan.  The *operating point* reported at the
+  end is the smallest ``nprobe`` reaching recall@10 >= 0.95 — the
+  acceptance bar is >= 3x over exact at that point on >= 50k vectors.
+* **Filtered search** — a metadata pre-filter (selectivity ~10%), which
+  always runs exact over the filtered candidates.
+
+``REPRO_VECTOR_BENCH_SCALE=tiny`` shrinks everything for CI (no claims at
+that scale, it only proves the path executes); ``--json PATH`` writes the
+machine-readable results (the checked-in copy lives at
+``benchmarks/results/BENCH_vector.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import random
+import statistics
+import time
+
+from repro.documentstore import DocumentStoreClient
+
+TINY = os.environ.get("REPRO_VECTOR_BENCH_SCALE", "full").lower() == "tiny"
+
+DIMS = 16
+CLUSTERS = 64
+SEED = 20260808
+K = 10
+
+if TINY:
+    N_VECTORS = 2_000
+    N_QUERIES = 5
+    NLIST = 16
+    NPROBES = (1, 2, 4, 16)
+else:
+    N_VECTORS = 50_000
+    N_QUERIES = 25
+    NLIST = 64
+    NPROBES = (1, 2, 4, 8, 16, 32)
+
+
+def make_dataset(rng: random.Random) -> tuple[list[dict], list[list[float]]]:
+    """Clustered Gaussian blobs — the shape IVF coarse quantizers exist for."""
+    centers = [
+        [rng.uniform(-10.0, 10.0) for _ in range(DIMS)] for _ in range(CLUSTERS)
+    ]
+    documents = []
+    for i in range(N_VECTORS):
+        center = centers[i % CLUSTERS]
+        documents.append(
+            {
+                "_id": i,
+                "embedding": [rng.gauss(component, 1.0) for component in center],
+                "tenant": i % 10,
+            }
+        )
+    queries = []
+    for _ in range(N_QUERIES):
+        center = centers[rng.randrange(CLUSTERS)]
+        queries.append([rng.gauss(component, 1.0) for component in center])
+    return documents, queries
+
+
+def build_collection(documents: list[dict]):
+    collection = DocumentStoreClient()["bench"]["embeddings"]
+    with collection.bulk_load():
+        collection.create_index(
+            {"keys": ["embedding"], "type": "vector", "dims": DIMS, "nlist": NLIST},
+            defer=True,
+        )
+        for offset in range(0, len(documents), 5_000):
+            collection.insert_many(documents[offset : offset + 5_000])
+    index = collection._live_indexes()["embedding_vector"]
+    if not index.trained:
+        index.train(force=True)  # tiny scale sits below the auto-train floor
+    return collection
+
+
+def timed_search(collection, query, **options) -> tuple[list[tuple[int, float]], float]:
+    specification = {"queryVector": query, "k": K, **options}
+    started = time.perf_counter()
+    results = collection.aggregate([{"$vectorSearch": specification}])
+    seconds = time.perf_counter() - started
+    return [(doc["_id"], doc["_score"]) for doc in results], seconds
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    position = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[position]
+
+
+def latency_summary(samples: list[float]) -> dict:
+    return {
+        "p50_ms": round(percentile(samples, 0.50) * 1_000, 3),
+        "p95_ms": round(percentile(samples, 0.95) * 1_000, 3),
+        "mean_ms": round(statistics.mean(samples) * 1_000, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=pathlib.Path, help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(SEED)
+    print(f"scale={'tiny' if TINY else 'full'} vectors={N_VECTORS:,} dims={DIMS} nlist={NLIST}")
+    documents, queries = make_dataset(rng)
+    built_started = time.perf_counter()
+    collection = build_collection(documents)
+    build_seconds = time.perf_counter() - built_started
+    index = collection._live_indexes()["embedding_vector"]
+    print(f"built+trained in {build_seconds:.2f}s (nlist={index.nlist})")
+
+    # Exact baseline doubles as the ground truth for recall.
+    exact_rankings: list[list[tuple[int, float]]] = []
+    exact_seconds: list[float] = []
+    for query in queries:
+        ranking, seconds = timed_search(collection, query, exact=True)
+        exact_rankings.append(ranking)
+        exact_seconds.append(seconds)
+    exact = {
+        "mode": "exact",
+        "vectors_scored": len(index),
+        **latency_summary(exact_seconds),
+    }
+    print(f"exact: p50={exact['p50_ms']}ms p95={exact['p95_ms']}ms (scores {len(index):,} vectors)")
+
+    sweep = []
+    for nprobe in NPROBES:
+        seconds_samples: list[float] = []
+        recalls: list[float] = []
+        scored_samples: list[int] = []
+        for query, truth in zip(queries, exact_rankings):
+            ranking, seconds = timed_search(collection, query, nprobe=nprobe)
+            seconds_samples.append(seconds)
+            truth_ids = {doc_id for doc_id, _score in truth}
+            hit = sum(1 for doc_id, _score in ranking if doc_id in truth_ids)
+            recalls.append(hit / max(1, len(truth_ids)))
+            details = collection.explain(
+                [{"$vectorSearch": {"queryVector": query, "k": K, "nprobe": nprobe}}]
+            )["queryPlanner"]["winningPlan"]["vectorSearch"]
+            scored_samples.append(details["vectorsScored"])
+        entry = {
+            "mode": "ivf",
+            "nprobe": nprobe,
+            "recall_at_10": round(statistics.mean(recalls), 4),
+            "vectors_scored_mean": round(statistics.mean(scored_samples)),
+            **latency_summary(seconds_samples),
+            "speedup_vs_exact_p50": round(exact["p50_ms"] / max(1e-9, latency_summary(seconds_samples)["p50_ms"]), 2),
+        }
+        sweep.append(entry)
+        print(
+            f"ivf nprobe={nprobe:>3}: recall@10={entry['recall_at_10']:.3f} "
+            f"p50={entry['p50_ms']}ms p95={entry['p95_ms']}ms "
+            f"speedup={entry['speedup_vs_exact_p50']}x "
+            f"(scores ~{entry['vectors_scored_mean']:,})"
+        )
+
+    operating_point = next(
+        (entry for entry in sweep if entry["recall_at_10"] >= 0.95), None
+    )
+    if operating_point is not None:
+        print(
+            f"operating point: nprobe={operating_point['nprobe']} "
+            f"recall@10={operating_point['recall_at_10']:.3f} "
+            f"speedup={operating_point['speedup_vs_exact_p50']}x"
+        )
+
+    # Metadata pre-filter: ~10% selectivity, always exact over the survivors.
+    collection.create_index("tenant")
+    filtered_seconds: list[float] = []
+    for query in queries:
+        _ranking, seconds = timed_search(collection, query, filter={"tenant": 3})
+        filtered_seconds.append(seconds)
+    filtered = {
+        "mode": "filteredExact",
+        "selectivity": 0.1,
+        **latency_summary(filtered_seconds),
+    }
+    print(f"filtered (tenant=3): p50={filtered['p50_ms']}ms p95={filtered['p95_ms']}ms")
+
+    results = {
+        "scale": "tiny" if TINY else "full",
+        "vectors": N_VECTORS,
+        "dims": DIMS,
+        "nlist": index.nlist,
+        "k": K,
+        "queries": N_QUERIES,
+        "build_seconds": round(build_seconds, 2),
+        "exact": exact,
+        "ivf_sweep": sweep,
+        "operating_point": operating_point,
+        "filtered": filtered,
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if not TINY:
+        assert operating_point is not None, "no nprobe reached recall@10 >= 0.95"
+        assert operating_point["speedup_vs_exact_p50"] >= 3.0, (
+            f"IVF speedup {operating_point['speedup_vs_exact_p50']}x below the 3x bar"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -53,9 +53,19 @@ from .errors import (
     ShardKeyError,
     SnapshotCorruptError,
 )
+from .explain import (
+    EXECUTION_KEYS,
+    EXPLAIN_VERSION,
+    PLANNER_KEYS,
+    TOP_LEVEL_KEYS,
+    VERBOSITIES,
+    build_execution_stats,
+    build_explain,
+    validate_verbosity,
+)
 from .expressions import compile_expression, evaluate_expression
 from .findspec import FindSpec, projection_preserves_fields
-from .indexes import ASCENDING, DESCENDING, HASHED, Index, IndexSpec, hashed_value
+from .indexes import ASCENDING, DESCENDING, HASHED, VECTOR, Index, IndexSpec, hashed_value
 from .matching import (
     compare_values,
     compile_matcher,
@@ -76,12 +86,19 @@ from .storage import (
     load_collection,
     load_database,
 )
+from .vector import VectorIndex, vector_score
 from .wal import WriteAheadLog, decode_records, encode_record
 
 __all__ = [
     "ASCENDING",
     "DESCENDING",
+    "EXECUTION_KEYS",
+    "EXPLAIN_VERSION",
     "HASHED",
+    "PLANNER_KEYS",
+    "TOP_LEVEL_KEYS",
+    "VECTOR",
+    "VERBOSITIES",
     "MAX_DOCUMENT_SIZE",
     "ChunkSplitError",
     "Collection",
@@ -118,7 +135,10 @@ __all__ = [
     "StageStats",
     "StorageEngine",
     "UpdateResult",
+    "VectorIndex",
     "WriteAheadLog",
+    "build_execution_stats",
+    "build_explain",
     "compare_values",
     "compile_expression",
     "compile_matcher",
@@ -149,5 +169,7 @@ __all__ = [
     "sort_key",
     "split_pipeline_for_shards",
     "validate_document",
+    "validate_verbosity",
+    "vector_score",
     "write_snapshot",
 ]

@@ -35,11 +35,13 @@ from .cursor import (
     project_document,
 )
 from .errors import (
+    DocumentStoreError,
     DuplicateKeyError,
     IndexNotFoundError,
     InvalidDocumentError,
     OperationFailure,
 )
+from .explain import build_execution_stats, build_explain, validate_verbosity
 from .findspec import FindSpec
 from .indexes import ASCENDING, Index, IndexSpec
 from .matching import compile_matcher, resolve_path, values_equal
@@ -47,6 +49,7 @@ from .objectid import ObjectId
 from .ordering import document_sort_key
 from .planner import QueryPlan, plan_find, plan_query
 from .update import apply_update, build_upsert_document, is_update_document
+from .vector import VectorIndex
 
 if TYPE_CHECKING:  # pragma: no cover
     from .database import Database
@@ -102,7 +105,7 @@ class Collection:
         self.name = name
         self._documents: dict[int, dict[str, Any]] = {}
         self._doc_id_counter = itertools.count(1)
-        self._indexes: dict[str, Index] = {}
+        self._indexes: dict[str, Index | VectorIndex] = {}
         self._id_index = Index(IndexSpec(keys=(("_id", ASCENDING),), unique=True, name="_id_"))
         self._indexes["_id_"] = self._id_index
         # Secondary-index deferral (bulk_load / create_index(defer=True)).
@@ -185,6 +188,11 @@ class Collection:
         The index is built with one key-extraction pass and one sort
         (O(n log n)) rather than n incremental sorted-array inserts.
 
+        *keys* accepts the legacy sugar forms (field name, key list,
+        ``{field: direction}`` mapping) or a structured spec document such
+        as ``{"keys": ["embedding"], "type": "vector", "dims": 16,
+        "metric": "cosine"}`` — the form :meth:`list_indexes` returns.
+
         With ``defer=True`` — or inside a :meth:`bulk_load` block — the
         index is registered but left empty; it is built by the next
         :meth:`rebuild_indexes` call (which ``bulk_load`` exit performs
@@ -193,13 +201,12 @@ class Collection:
         spec = IndexSpec.from_key_specification(keys, unique=unique, name=name)
         if spec.name in self._indexes:
             return spec.name
-        ddl_record = {
-            "op": "create_index",
-            "keys": [list(pair) for pair in spec.keys],
-            "unique": spec.unique,
-            "name": spec.name,
-        }
-        index = Index(spec)
+        ddl_record = {"op": "create_index", "spec": spec.describe()}
+        index: Index | VectorIndex
+        if spec.is_vector:
+            index = VectorIndex(spec)
+        else:
+            index = Index(spec)
         if defer or self._defer_secondary_indexes:
             self._indexes[spec.name] = index
             self._pending_index_builds.add(spec.name)
@@ -286,13 +293,32 @@ class Collection:
         self._write_log({"op": "drop_index", "name": name})
 
     def index_information(self) -> dict[str, dict[str, Any]]:
-        """Describe every index on the collection."""
-        return {
-            name: {"key": list(index.spec.keys), "unique": index.spec.unique}
-            for name, index in self._indexes.items()
-        }
+        """Describe every index on the collection (legacy shape + ``type``)."""
+        information: dict[str, dict[str, Any]] = {}
+        for name, index in self._indexes.items():
+            entry: dict[str, Any] = {
+                "key": list(index.spec.keys),
+                "unique": index.spec.unique,
+                "type": index.spec.type,
+            }
+            if index.spec.is_vector:
+                entry["dims"] = index.spec.dims
+                entry["metric"] = index.spec.metric
+                if index.spec.nlist:
+                    entry["nlist"] = index.spec.nlist
+            information[name] = entry
+        return information
 
-    def _live_indexes(self) -> Mapping[str, Index]:
+    def list_indexes(self) -> list[dict[str, Any]]:
+        """Structured spec documents for every index, in creation order.
+
+        Each entry is accepted back by :meth:`create_index` — specs
+        round-trip through ``list_indexes``, the WAL, snapshots, and the
+        wire protocol.
+        """
+        return [index.spec.describe() for index in self._indexes.values()]
+
+    def _live_indexes(self) -> Mapping[str, Index | VectorIndex]:
         """The indexes the planner (and write maintenance) may rely on.
 
         Deferred-mode secondaries and pending (unbuilt) indexes are stale or
@@ -364,7 +390,7 @@ class Collection:
                     self._write_log({"op": "insert", "docs": prepared[:inserted]})
         return InsertManyResult(inserted_ids=[document["_id"] for document in prepared])
 
-    def _maintained_index_items(self) -> list[tuple[str, Index]]:
+    def _maintained_index_items(self) -> list[tuple[str, Index | VectorIndex]]:
         """The indexes writes must maintain (deferred/pending ones rebuild later)."""
         return [
             (index_name, index)
@@ -386,7 +412,9 @@ class Collection:
             # dict order guarantees the unique _id index is merged first.
             for _name, index in self._maintained_index_items():
                 undo_handles.append(index.bulk_insert(batch))
-        except DuplicateKeyError:
+        except DocumentStoreError:
+            # Unique violations *and* vector validation errors roll back the
+            # batch from every already-merged index before propagating.
             for handle in reversed(undo_handles):
                 handle.rollback()
             raise
@@ -400,15 +428,15 @@ class Collection:
         doc_id = next(self._doc_id_counter)
         # The unique _id index comes first in dict order, so duplicate _ids
         # abort before any secondary index is touched.
-        updated: list[Index] = []
+        updated: list[Index | VectorIndex] = []
         try:
             for _name, index in self._maintained_index_items():
                 index.insert(document, doc_id)
                 updated.append(index)
-        except DuplicateKeyError:
+        except DocumentStoreError:
             # Remove the document from every index updated so far — a
-            # violation on the k-th secondary index must not leave entries
-            # behind in indexes 1..k-1.
+            # violation (or vector validation error) on the k-th secondary
+            # index must not leave entries behind in indexes 1..k-1.
             for index in updated:
                 index.remove(document, doc_id)
             raise
@@ -617,9 +645,74 @@ class Collection:
                         values.append(candidate)
         return [deep_copy_document({"v": value})["v"] for value in values]
 
-    def explain(self, query: Mapping[str, Any] | None = None) -> dict[str, Any]:
-        """Return the access plan chosen for *query* (``explain()`` analogue)."""
-        return self.explain_find(FindSpec(filter=query))
+    def explain(
+        self,
+        query_or_pipeline: Mapping[str, Any] | Sequence[Mapping[str, Any]] | FindSpec | None = None,
+        *,
+        verbosity: str = "queryPlanner",
+    ) -> dict[str, Any]:
+        """The unified explain entry point (schema v1, see ``explain.py``).
+
+        *query_or_pipeline* is a find filter (mapping or ``None``), a
+        complete :class:`FindSpec`, or an aggregation pipeline (sequence of
+        stages).  ``verbosity="executionStats"`` additionally executes the
+        operation and reports ``nReturned`` plus per-stage counters; a
+        trailing ``$out`` is never written during explain.  The same
+        signature and document shape exist on ``RoutedCollection`` and
+        ``RemoteCollection``.
+        """
+        validate_verbosity(verbosity)
+        if isinstance(query_or_pipeline, Sequence) and not isinstance(
+            query_or_pipeline, (str, bytes)
+        ):
+            return self._explain_pipeline(list(query_or_pipeline), verbosity)
+        if isinstance(query_or_pipeline, FindSpec):
+            spec = query_or_pipeline
+        else:
+            spec = FindSpec(filter=query_or_pipeline)
+        return self._explain_spec(spec, verbosity)
+
+    def _explain_spec(self, spec: FindSpec, verbosity: str) -> dict[str, Any]:
+        legacy = self.explain_find(spec)["queryPlanner"]
+        execution_stats = None
+        if verbosity == "executionStats":
+            n_returned = sum(1 for _document in self._execute_find(spec))
+            execution_stats = build_execution_stats(n_returned=n_returned)
+        return build_explain(
+            surface="standalone",
+            operation="find",
+            verbosity=verbosity,
+            namespace=self.full_name,
+            winning_plan=legacy["winningPlan"],
+            sort_mode=legacy["sortMode"],
+            spec=legacy["findSpec"],
+            execution_stats=execution_stats,
+        )
+
+    def _explain_pipeline(
+        self, pipeline: Sequence[Mapping[str, Any]], verbosity: str
+    ) -> dict[str, Any]:
+        counters: list[StageStats] = []
+        plan, results = self._execute_pipeline(
+            pipeline, counters=counters, suppress_out=True
+        )
+        plan = plan.with_pipeline_stages([stats.as_dict() for stats in counters])
+        execution_stats = None
+        if verbosity == "executionStats":
+            execution_stats = build_execution_stats(
+                n_returned=len(results),
+                stages=[stats.as_dict() for stats in counters],
+            )
+        return build_explain(
+            surface="standalone",
+            operation="aggregate",
+            verbosity=verbosity,
+            namespace=self.full_name,
+            winning_plan=plan.describe(),
+            sort_mode=None,
+            spec={"pipeline": [dict(stage) for stage in pipeline]},
+            execution_stats=execution_stats,
+        )
 
     # --------------------------------------------------------------- updates
 
@@ -840,6 +933,179 @@ class Collection:
         plan = QueryPlan(stage="COLLSCAN", documents_examined=len(self._documents))
         return plan, self.raw_documents()
 
+    def _resolve_vector_index(
+        self, index_name: Any, path: Any
+    ) -> tuple[str, VectorIndex]:
+        """Pick the vector index a ``$vectorSearch`` stage runs against."""
+        live = self._live_indexes()
+        vector_indexes = {
+            name: index
+            for name, index in live.items()
+            if isinstance(index, VectorIndex)
+        }
+        if index_name is not None:
+            index = vector_indexes.get(str(index_name))
+            if index is None:
+                raise OperationFailure(
+                    f"$vectorSearch index {index_name!r} is not a usable vector index"
+                )
+            return str(index_name), index
+        if path is not None:
+            for name, index in vector_indexes.items():
+                if index.spec.fields[0] == str(path):
+                    return name, index
+            raise OperationFailure(f"no vector index on path {path!r}")
+        if len(vector_indexes) == 1:
+            return next(iter(vector_indexes.items()))
+        if not vector_indexes:
+            raise OperationFailure(
+                "$vectorSearch requires a vector index on the collection"
+            )
+        raise OperationFailure(
+            "collection has multiple vector indexes; "
+            "name one with 'index' or 'path' in $vectorSearch"
+        )
+
+    _VECTOR_SEARCH_OPTIONS = frozenset(
+        {"queryVector", "k", "limit", "path", "index", "filter", "nprobe", "exact", "scoreField"}
+    )
+
+    def _vector_search_source(
+        self, specification: Any
+    ) -> tuple[QueryPlan, list[dict[str, Any]], StageStats]:
+        """Execute a leading ``$vectorSearch`` stage against a vector index.
+
+        Returns the plan, the ranked result documents (each a shallow copy
+        of the stored document plus the score field), and the stage's
+        counters.  A metadata ``filter`` is applied *before* the search
+        (pre-filter semantics): the compiled matcher — index-assisted where
+        possible — narrows the candidate set, and the kNN then runs exactly
+        over the survivors.
+        """
+        if not isinstance(specification, Mapping):
+            raise OperationFailure("$vectorSearch requires a specification document")
+        unknown = sorted(set(specification) - self._VECTOR_SEARCH_OPTIONS)
+        if unknown:
+            raise OperationFailure(
+                f"unknown $vectorSearch option(s) {unknown!r}; "
+                f"allowed: {sorted(self._VECTOR_SEARCH_OPTIONS)!r}"
+            )
+        query_vector = specification.get("queryVector")
+        if query_vector is None:
+            raise OperationFailure("$vectorSearch requires 'queryVector'")
+        k = specification.get("k", specification.get("limit"))
+        if k is None:
+            raise OperationFailure("$vectorSearch requires 'k' (or 'limit')")
+        k = int(k)
+        index_name, vector_index = self._resolve_vector_index(
+            specification.get("index"), specification.get("path")
+        )
+
+        filter_specification = specification.get("filter")
+        allowed_ids: set[int] | None = None
+        filter_examined = 0
+        filter_plan_stage: str | None = None
+        if filter_specification:
+            predicate = compile_matcher(filter_specification)
+            filter_plan, candidate_ids = self._candidate_ids(filter_specification)
+            filter_plan_stage = filter_plan.stage
+            allowed_ids = set()
+            for doc_id in candidate_ids:
+                document = self._documents.get(doc_id)
+                if document is None:
+                    continue
+                filter_examined += 1
+                if predicate(document):
+                    allowed_ids.add(doc_id)
+
+        nprobe = specification.get("nprobe")
+        nprobe = int(nprobe) if nprobe is not None else None
+        exact = bool(specification.get("exact", False))
+        ranked, scored = vector_index.search(
+            query_vector, k, nprobe=nprobe, exact=exact, allowed_ids=allowed_ids
+        )
+        score_field = str(specification.get("scoreField") or "_score")
+        results: list[dict[str, Any]] = []
+        for doc_id, score in ranked:
+            document = self._documents.get(doc_id)
+            if document is None:  # pragma: no cover - defensive
+                continue
+            scored_document = dict(document)
+            scored_document[score_field] = score
+            results.append(scored_document)
+
+        if allowed_ids is not None:
+            mode = "filteredExact"
+        elif exact or not vector_index.trained:
+            mode = "exact"
+        else:
+            mode = "ivf"
+        details: dict[str, Any] = {
+            "k": k,
+            "metric": vector_index.spec.metric,
+            "mode": mode,
+            "vectorsScored": scored,
+            "indexedVectors": len(vector_index),
+            "scoreField": score_field,
+        }
+        if mode == "ivf":
+            details["nlist"] = vector_index.nlist
+            details["nprobe"] = nprobe or vector_index.default_nprobe()
+        if filter_plan_stage is not None:
+            details["filterPlan"] = filter_plan_stage
+            details["filterMatched"] = len(allowed_ids or ())
+        examined = filter_examined + scored
+        plan = QueryPlan(
+            stage="VECTOR_SEARCH",
+            index_name=index_name,
+            index_fields=vector_index.spec.fields,
+            documents_examined=examined,
+            vector=details,
+        )
+        stats = StageStats(
+            "$vectorSearch", docs_examined=examined, docs_returned=len(results)
+        )
+        self.operation_counters["queries"] += 1
+        self.operation_counters["documents_scanned"] += examined
+        return plan, results, stats
+
+    def _execute_pipeline(
+        self,
+        pipeline: Sequence[Mapping[str, Any]],
+        *,
+        counters: list[StageStats] | None = None,
+        suppress_out: bool = False,
+    ) -> tuple[QueryPlan, list[dict[str, Any]]]:
+        """Shared core of :meth:`aggregate` and the explain surfaces."""
+        optimized = optimize_pipeline(pipeline)
+        if optimized and "$vectorSearch" in optimized[0]:
+            plan, source, vector_stats = self._vector_search_source(
+                optimized[0]["$vectorSearch"]
+            )
+            remaining: list[Mapping[str, Any]] = list(optimized[1:])
+            if counters is not None:
+                counters.append(vector_stats)
+        else:
+            plan, source = self._aggregate_plan_and_source(optimized)
+            remaining = optimized
+        collection_resolver, output_writer = self._pipeline_environment()
+        if suppress_out:
+            output_writer = lambda _name, _documents: None  # noqa: E731
+
+        # The pipeline never mutates its input documents (stages copy before
+        # modifying), so aggregation reads the stored documents directly
+        # instead of paying a defensive deep copy per document.
+        results = run_pipeline(
+            source,
+            remaining,
+            collection_resolver=collection_resolver,
+            output_writer=output_writer,
+            counters=counters,
+            optimize=False,
+            fuse=True,
+        )
+        return plan, results
+
     def aggregate(
         self,
         pipeline: Sequence[Mapping[str, Any]],
@@ -848,49 +1114,27 @@ class Collection:
     ) -> list[dict[str, Any]]:
         """Run an aggregation pipeline over the collection.
 
-        The pipeline is optimized once (match merging / pushdown, top-k
-        fusion happens at compile time) so the planner sees the effective
-        leading ``$match`` even when the caller wrote it after a ``$sort``.
-        When *counters* is a list it receives per-stage
-        :class:`~repro.documentstore.aggregation.StageStats`.
+        The pipeline is optimized once (match merging / pushdown, top-k and
+        ``$vectorSearch``+``$limit`` fusion) so the planner sees the
+        effective leading stage even when the caller wrote it after a
+        ``$sort``.  A leading ``$vectorSearch`` runs against the
+        collection's vector index (with optional metadata pre-filter)
+        before the compiled stages.  When *counters* is a list it receives
+        per-stage :class:`~repro.documentstore.aggregation.StageStats`.
         """
-        optimized = optimize_pipeline(pipeline)
-        _plan, source = self._aggregate_plan_and_source(optimized)
-        collection_resolver, output_writer = self._pipeline_environment()
-
-        # The pipeline never mutates its input documents (stages copy before
-        # modifying), so aggregation reads the stored documents directly
-        # instead of paying a defensive deep copy per document.
-        return run_pipeline(
-            source,
-            optimized,
-            collection_resolver=collection_resolver,
-            output_writer=output_writer,
-            counters=counters,
-            optimize=False,
-            fuse=True,
-        )
+        _plan, results = self._execute_pipeline(pipeline, counters=counters)
+        return results
 
     def explain_aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
-        """Execute *pipeline* and report the plan plus per-stage counters.
+        """Deprecated alias: use ``explain(pipeline, verbosity=...)``.
 
-        Mirrors ``explain("executionStats")``: the winning plan describes the
-        access path of the leading ``$match`` (IXSCAN vs COLLSCAN) and every
-        executed stage reports documents examined / returned.  A trailing
-        ``$out`` is *not* written during explain.
+        Kept for callers of the historical shape — the winning plan of the
+        leading ``$match``/``$vectorSearch`` plus per-stage counters.  A
+        trailing ``$out`` is *not* written during explain.
         """
-        optimized = optimize_pipeline(pipeline)
-        plan, source = self._aggregate_plan_and_source(optimized)
-        collection_resolver, _output_writer = self._pipeline_environment()
         counters: list[StageStats] = []
-        run_pipeline(
-            source,
-            optimized,
-            collection_resolver=collection_resolver,
-            output_writer=lambda _name, _documents: None,
-            counters=counters,
-            optimize=False,
-            fuse=True,
+        plan, _results = self._execute_pipeline(
+            pipeline, counters=counters, suppress_out=True
         )
         plan = plan.with_pipeline_stages([stats.as_dict() for stats in counters])
         return {

@@ -33,11 +33,29 @@ __all__ = [
     "ASCENDING",
     "DESCENDING",
     "HASHED",
+    "VECTOR",
+    "BTREE_TYPE",
+    "VECTOR_TYPE",
+    "VECTOR_METRICS",
 ]
 
 ASCENDING = 1
 DESCENDING = -1
 HASHED = "hashed"
+#: Key direction marker used by vector indexes (``[("embedding", "vector")]``).
+VECTOR = "vector"
+
+#: Index types accepted by the structured ``create_index`` spec.
+BTREE_TYPE = "btree"
+VECTOR_TYPE = "vector"
+
+#: Similarity metrics a vector index can be declared with.
+VECTOR_METRICS = ("cosine", "l2")
+
+#: Fields allowed in a structured index spec document.
+_STRUCTURED_SPEC_FIELDS = frozenset(
+    {"keys", "type", "dims", "metric", "unique", "name", "nlist"}
+)
 
 _MISSING_KEY = None  # documents without the indexed field index a null key
 
@@ -82,22 +100,72 @@ class IndexSpec:
     """Declarative description of an index.
 
     ``keys`` is an ordered sequence of ``(field, direction)`` pairs where
-    direction is ``1`` (ascending), ``-1`` (descending), or ``"hashed"``.
+    direction is ``1`` (ascending), ``-1`` (descending), ``"hashed"``, or
+    ``"vector"`` (vector indexes only).  ``type`` selects the index family:
+    ``"btree"`` (the sorted-array default) or ``"vector"`` (kNN/ANN over a
+    single embedding field, configured by ``dims``/``metric``/``nlist``).
     """
 
     keys: tuple[tuple[str, Any], ...]
     unique: bool = False
     name: str = field(default="")
+    type: str = BTREE_TYPE
+    dims: int = 0
+    metric: str = ""
+    nlist: int = 0
 
     def __post_init__(self) -> None:
         if not self.keys:
             raise OperationFailure("an index requires at least one key")
-        hashed_fields = [f for f, direction in self.keys if direction == HASHED]
-        if hashed_fields and len(self.keys) > 1:
-            raise OperationFailure("hashed indexes must be single-field")
+        if self.type == VECTOR_TYPE:
+            self._validate_vector()
+        elif self.type == BTREE_TYPE:
+            self._validate_btree()
+        else:
+            raise OperationFailure(
+                f"unknown index type {self.type!r} (expected 'btree' or 'vector')"
+            )
         if not self.name:
             generated = "_".join(f"{field_}_{direction}" for field_, direction in self.keys)
             object.__setattr__(self, "name", generated)
+
+    def _validate_btree(self) -> None:
+        hashed_fields = [f for f, direction in self.keys if direction == HASHED]
+        if hashed_fields and len(self.keys) > 1:
+            raise OperationFailure("hashed indexes must be single-field")
+        if any(direction == VECTOR for _field, direction in self.keys):
+            raise OperationFailure(
+                "'vector' key direction requires an index of type 'vector'"
+            )
+        for option in ("dims", "metric", "nlist"):
+            if getattr(self, option):
+                raise OperationFailure(
+                    f"{option!r} only applies to indexes of type 'vector'"
+                )
+
+    def _validate_vector(self) -> None:
+        if len(self.keys) != 1:
+            raise OperationFailure("a vector index covers exactly one field")
+        field_path, direction = self.keys[0]
+        if direction != VECTOR:
+            # Normalize: structured specs may declare the key as a plain
+            # field name; canonical form stores ("field", "vector").
+            object.__setattr__(self, "keys", ((field_path, VECTOR),))
+        if self.unique:
+            raise OperationFailure("vector indexes cannot be unique")
+        if not isinstance(self.dims, int) or isinstance(self.dims, bool) or self.dims <= 0:
+            raise OperationFailure(
+                "a vector index requires 'dims': a positive integer dimensionality"
+            )
+        if not self.metric:
+            object.__setattr__(self, "metric", "cosine")
+        if self.metric not in VECTOR_METRICS:
+            raise OperationFailure(
+                f"unknown vector metric {self.metric!r} "
+                f"(expected one of {', '.join(VECTOR_METRICS)})"
+            )
+        if not isinstance(self.nlist, int) or isinstance(self.nlist, bool) or self.nlist < 0:
+            raise OperationFailure("'nlist' must be a non-negative integer")
 
     @classmethod
     def from_key_specification(
@@ -107,7 +175,17 @@ class IndexSpec:
         unique: bool = False,
         name: str = "",
     ) -> "IndexSpec":
-        """Build a spec from the flexible forms accepted by ``create_index``."""
+        """Build a spec from the flexible forms accepted by ``create_index``.
+
+        Accepts the legacy sugar forms — a field name, a ``{field: direction}``
+        mapping, or a sequence of ``(field, direction)`` pairs — plus the
+        structured spec document ``{"keys": [...], "type": ..., "dims": ...,
+        "metric": ..., "unique": ..., "name": ..., "nlist": ...}`` (any mapping
+        containing a ``"keys"`` entry).  The structured form is what
+        ``list_indexes`` returns, so specs round-trip.
+        """
+        if isinstance(keys, Mapping) and "keys" in keys:
+            return cls._from_structured(keys, unique=unique, name=name)
         if isinstance(keys, str):
             normalized: tuple[tuple[str, Any], ...] = ((keys, ASCENDING),)
         elif isinstance(keys, Mapping):
@@ -115,6 +193,73 @@ class IndexSpec:
         else:
             normalized = tuple((str(k), v) for k, v in keys)
         return cls(keys=normalized, unique=unique, name=name)
+
+    @classmethod
+    def _from_structured(
+        cls, spec: Mapping[str, Any], *, unique: bool = False, name: str = ""
+    ) -> "IndexSpec":
+        unknown = sorted(set(spec) - _STRUCTURED_SPEC_FIELDS)
+        if unknown:
+            raise OperationFailure(
+                f"unknown index spec field(s) {unknown!r}; "
+                f"allowed: {sorted(_STRUCTURED_SPEC_FIELDS)!r}"
+            )
+        raw_keys = spec["keys"]
+        if isinstance(raw_keys, str):
+            normalized: tuple[tuple[str, Any], ...] = ((raw_keys, ASCENDING),)
+        elif isinstance(raw_keys, Mapping):
+            normalized = tuple((str(k), v) for k, v in raw_keys.items())
+        else:
+            try:
+                normalized = tuple(
+                    (str(pair), ASCENDING)
+                    if isinstance(pair, str)
+                    else (str(pair[0]), pair[1])
+                    for pair in raw_keys
+                )
+            except (TypeError, IndexError):
+                raise OperationFailure(
+                    "index spec 'keys' must be a field name, a mapping, or a "
+                    "sequence of (field, direction) pairs"
+                ) from None
+        index_type = str(spec.get("type") or BTREE_TYPE)
+        dims = spec.get("dims", 0)
+        nlist = spec.get("nlist", 0)
+        if index_type == VECTOR_TYPE:
+            # Plain field names in a vector spec's keys mean the vector field.
+            normalized = tuple(
+                (field_path, VECTOR if direction == ASCENDING else direction)
+                for field_path, direction in normalized
+            )
+        return cls(
+            keys=normalized,
+            unique=bool(spec.get("unique", unique)),
+            name=str(spec.get("name") or name or ""),
+            type=index_type,
+            dims=dims if dims is not None else 0,
+            metric=str(spec.get("metric") or ""),
+            nlist=nlist if nlist is not None else 0,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """The structured spec document for this index (round-trippable).
+
+        The returned mapping is accepted back by :meth:`from_key_specification`
+        and is what ``list_indexes``, WAL index-DDL records, and the wire
+        protocol's ``createIndexes`` command carry.
+        """
+        described: dict[str, Any] = {
+            "name": self.name,
+            "type": self.type,
+            "keys": [list(pair) for pair in self.keys],
+            "unique": self.unique,
+        }
+        if self.type == VECTOR_TYPE:
+            described["dims"] = self.dims
+            described["metric"] = self.metric
+            if self.nlist:
+                described["nlist"] = self.nlist
+        return described
 
     @property
     def fields(self) -> tuple[str, ...]:
@@ -125,6 +270,11 @@ class IndexSpec:
     def is_hashed(self) -> bool:
         """True if this is a hashed (single-field) index."""
         return any(direction == HASHED for _field, direction in self.keys)
+
+    @property
+    def is_vector(self) -> bool:
+        """True if this is a vector index."""
+        return self.type == VECTOR_TYPE
 
 
 class Index:

@@ -31,7 +31,7 @@ class QueryPlan:
     per executed stage, in optimized execution order).
     """
 
-    stage: str  # "COLLSCAN" or "IXSCAN"
+    stage: str  # "COLLSCAN", "IXSCAN", or "VECTOR_SEARCH"
     index_name: str | None = None
     index_fields: tuple[str, ...] = ()
     candidate_ids: tuple[int, ...] | None = None
@@ -42,6 +42,8 @@ class QueryPlan:
     sort_served: bool = False
     #: Index scan direction when ``sort_served`` ("forward" or "backward").
     direction: str = "forward"
+    #: VECTOR_SEARCH details: k/metric/mode/nprobe/vectorsScored/filter plan.
+    vector: Mapping[str, Any] | None = None
 
     def describe(self) -> dict[str, Any]:
         """Return an ``explain()``-style description of the plan."""
@@ -53,6 +55,11 @@ class QueryPlan:
             if self.sort_served:
                 description["sortServedByIndex"] = True
                 description["direction"] = self.direction
+        elif self.stage == "VECTOR_SEARCH":
+            description["indexName"] = self.index_name
+            description["keyPattern"] = list(self.index_fields)
+            if self.vector:
+                description["vectorSearch"] = dict(self.vector)
         if self.pipeline_stages:
             description["pipelineStages"] = [dict(entry) for entry in self.pipeline_stages]
         return description
@@ -70,6 +77,7 @@ class QueryPlan:
             pipeline_stages=tuple(dict(entry) for entry in stages),
             sort_served=self.sort_served,
             direction=self.direction,
+            vector=dict(self.vector) if self.vector else None,
         )
 
 
@@ -150,6 +158,8 @@ def plan_query(
 
     best: tuple[int, str, Index] | None = None
     for name, index in indexes.items():
+        if getattr(index.spec, "is_vector", False):
+            continue  # vector indexes cannot serve filters or sorts
         leading_field = index.spec.fields[0]
         leading = constraints.get(leading_field)
         if leading is None:

@@ -94,10 +94,13 @@ def atomic_writer(
 
 
 def _collection_manifest(collection: Any) -> dict[str, Any]:
+    # Structured specs (type/dims/metric/...) so vector indexes round-trip;
+    # load_snapshot also accepts the legacy {"keys", "unique"} entries that
+    # older snapshots recorded.
     indexes = {
-        name: {"keys": [list(pair) for pair in info["key"]], "unique": bool(info["unique"])}
-        for name, info in collection.index_information().items()
-        if name != "_id_"
+        spec["name"]: spec
+        for spec in collection.list_indexes()
+        if spec["name"] != "_id_"
     }
     return {"count": len(collection), "indexes": indexes}
 
@@ -255,12 +258,18 @@ def load_snapshot(
         )
         with collection.bulk_load():
             for name, info in index_specs.items():
-                collection.create_index(
-                    [tuple(pair) for pair in info["keys"]],
-                    unique=bool(info.get("unique")),
-                    name=str(name),
-                    defer=True,
-                )
+                if "type" in info:
+                    # Structured spec (current manifests) — pass it through
+                    # unchanged so vector indexes rebuild with dims/metric.
+                    collection.create_index(info, defer=True)
+                else:
+                    # Legacy manifest entry: bare keys + unique flag.
+                    collection.create_index(
+                        [tuple(pair) for pair in info["keys"]],
+                        unique=bool(info.get("unique")),
+                        name=str(name),
+                        defer=True,
+                    )
             batch: list[dict[str, Any]] = []
             for _ in range(count):
                 batch.append(decode_document(next(lines)))

@@ -145,9 +145,9 @@ def dump_database(database: Database, directory: str | pathlib.Path) -> dict[str
         manifest["collections"][name] = {
             "count": counts[name],
             "indexes": {
-                index_name: info["key"]
-                for index_name, info in collection.index_information().items()
-                if index_name != "_id_"
+                spec["name"]: spec
+                for spec in collection.list_indexes()
+                if spec["name"] != "_id_"
             },
         }
     with atomic_writer(target / "__manifest__.json") as handle:
@@ -167,8 +167,13 @@ def load_database(database: Database, directory: str | pathlib.Path) -> dict[str
         counts[name] = load_collection(collection, path)
         if manifest is not None:
             index_specs = manifest["collections"].get(name, {}).get("indexes", {})
-            for keys in index_specs.values():
-                collection.create_index([(field, direction) for field, direction in keys])
+            for entry in index_specs.values():
+                if isinstance(entry, dict):
+                    # Structured spec written by current dumps.
+                    collection.create_index(entry)
+                else:
+                    # Legacy dump: bare key list, non-unique.
+                    collection.create_index([(field, direction) for field, direction in entry])
     return counts
 
 

@@ -420,14 +420,102 @@ class RemoteCollection:
         )
         return list(reply["values"])
 
-    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
-        """Run an aggregation pipeline on the server."""
-        reply = self.client._request(
-            Opcode.AGGREGATE,
-            {**self._namespace(), "pipeline": [dict(stage) for stage in pipeline]},
-            idempotent=True,
+    def aggregate(
+        self,
+        pipeline: Sequence[Mapping[str, Any]],
+        *,
+        batch_size: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline on the server.
+
+        With *batch_size* the results stream back in ``GET_MORE`` batches
+        (like :meth:`find`) instead of one monolithic reply — the path large
+        ``$vectorSearch``/``$group`` result sets should take.
+        """
+        if batch_size is None:
+            reply = self.client._request(
+                Opcode.AGGREGATE,
+                {**self._namespace(), "pipeline": [dict(stage) for stage in pipeline]},
+                idempotent=True,
+            )
+            return list(reply["results"])
+        return list(self._stream_aggregate(pipeline, int(batch_size)))
+
+    def _stream_aggregate(
+        self, pipeline: Sequence[Mapping[str, Any]], batch_size: int
+    ) -> Iterator[dict[str, Any]]:
+        """Stream an aggregation: one ``AGGREGATE`` frame, then ``GET_MORE``.
+
+        Mirrors :meth:`_execute_find`: the connection stays pinned while the
+        server cursor is open, and early abandonment kills the cursor.
+        """
+        payload = {
+            **self._namespace(),
+            "pipeline": [dict(stage) for stage in pipeline],
+            "batch_size": batch_size,
+        }
+        connection, reply = self.client._request_pinned(
+            Opcode.AGGREGATE, payload, idempotent=True
         )
-        return list(reply["results"])
+        cursor_id = 0
+        try:
+            while True:
+                cursor_id = int(reply.get("cursor_id") or 0)
+                for document in reply.get("batch", []):
+                    yield document
+                if not reply.get("has_more"):
+                    cursor_id = 0
+                    return
+                try:
+                    frame = connection.request(
+                        Opcode.GET_MORE,
+                        {
+                            **self._namespace(),
+                            "cursor_id": cursor_id,
+                            "batch_size": batch_size,
+                        },
+                    )
+                except _TRANSPORT_ERRORS as exc:
+                    lost_cursor_id, cursor_id = cursor_id, 0
+                    raise ConnectionFailure(
+                        f"connection lost while streaming cursor {lost_cursor_id}: {exc}"
+                    ) from exc
+                reply = frame.document
+        finally:
+            if cursor_id and not connection.broken:
+                try:
+                    connection.request(
+                        Opcode.KILL_CURSOR,
+                        {**self._namespace(), "cursor_id": cursor_id},
+                    )
+                except (DocumentStoreError, ShardTimeoutError, *_TRANSPORT_ERRORS):
+                    pass
+            if connection.broken:
+                self.client._discard(connection)
+            else:
+                self.client._checkin(connection)
+
+    def explain(
+        self,
+        query_or_pipeline: Mapping[str, Any] | Sequence[Mapping[str, Any]] | None = None,
+        *,
+        verbosity: str = "queryPlanner",
+    ) -> dict[str, Any]:
+        """The unified explain entry point (schema v1, ``surface="served"``).
+
+        Same signature and document shape as ``Collection.explain`` /
+        ``RoutedCollection.explain``: a mapping (or ``None``) explains a
+        find, a sequence of stages explains an aggregation.
+        """
+        command: dict[str, Any] = {"explain": self.name, "verbosity": verbosity}
+        if isinstance(query_or_pipeline, Sequence) and not isinstance(
+            query_or_pipeline, (str, bytes)
+        ):
+            command["pipeline"] = [dict(stage) for stage in query_or_pipeline]
+        elif query_or_pipeline is not None:
+            command["query"] = dict(query_or_pipeline)
+        reply = self.client.command(self.database_name, command)
+        return dict(reply["explain"])
 
     # ----------------------------------------------------------------- writes
 
@@ -497,7 +585,18 @@ class RemoteCollection:
     # -------------------------------------------------------------------- DDL
 
     def create_index(self, keys: Any, *, unique: bool = False, name: str = "") -> str:
-        """Create an index on the served collection."""
+        """Create an index on the served collection.
+
+        Accepts the same shapes as the in-process backends, including
+        structured specs like ``{"keys": ["embedding"], "type": "vector",
+        "dims": 8, "metric": "cosine"}`` — those cross the wire verbatim.
+        """
+        if isinstance(keys, Mapping) and "keys" in keys:
+            reply = self.client.command(
+                self.database_name,
+                {"createIndexes": self.name, "spec": dict(keys)},
+            )
+            return str(reply["name"])
         if isinstance(keys, str):
             wire_keys: Any = keys
         elif isinstance(keys, Mapping):
@@ -509,6 +608,11 @@ class RemoteCollection:
             {"createIndexes": self.name, "keys": wire_keys, "unique": unique, "name": name},
         )
         return str(reply["name"])
+
+    def list_indexes(self) -> list[dict[str, Any]]:
+        """Structured index specs (``Collection.list_indexes`` analogue)."""
+        reply = self.client.command(self.database_name, {"listIndexes": self.name})
+        return [dict(spec) for spec in reply["indexes"]]
 
     def drop_index(self, index_name: str) -> None:
         """Drop an index from the served collection."""

@@ -738,7 +738,23 @@ class _Session(threading.Thread):
     def _handle_aggregate(self, doc: Mapping[str, Any]) -> tuple[dict[str, Any], int]:
         collection = self.server._collection(doc["db"], doc["collection"])
         results = collection.aggregate(doc.get("pipeline") or [])
-        return {"results": list(results)}, 0
+        if "batch_size" not in doc:
+            # Pre-cursor clients ask for the whole result set in one reply.
+            return {"results": list(results)}, 0
+        # Cursor-style reply: ship the first batch and register a server
+        # cursor for GET_MORE, exactly like _handle_find.
+        batch_size = int(doc.get("batch_size") or self.server.default_batch_size)
+        server_cursor = _ServerCursor(iter(results), batch_size)
+        batch, has_more = server_cursor.next_batch()
+        cursor_id = 0
+        flags = 0
+        if has_more:
+            cursor_id = self._next_cursor_id
+            self._next_cursor_id += 1
+            self.cursors[cursor_id] = server_cursor
+            self.server.stats.record_cursor("opened")
+            flags = FLAG_HAS_MORE
+        return {"batch": batch, "cursor_id": cursor_id, "has_more": has_more}, flags
 
     def _handle_distinct(self, doc: Mapping[str, Any]) -> tuple[dict[str, Any], int]:
         collection = self.server._collection(doc["db"], doc["collection"])
@@ -758,6 +774,11 @@ class _Session(threading.Thread):
             return self.server.server_status(), 0
         if "createIndexes" in command:
             collection = self.server._collection(database_name, command["createIndexes"])
+            spec = command.get("spec")
+            if isinstance(spec, Mapping):
+                # Structured spec: btree and vector indexes round-trip as-is.
+                name = collection.create_index(spec)
+                return {"ok": 1.0, "name": name}, 0
             keys = command.get("keys")
             if isinstance(keys, list):
                 keys = [tuple(pair) for pair in keys]
@@ -767,6 +788,21 @@ class _Session(threading.Thread):
                 name=str(command.get("name") or ""),
             )
             return {"ok": 1.0, "name": name}, 0
+        if "listIndexes" in command:
+            collection = self.server._collection(database_name, command["listIndexes"])
+            return {"ok": 1.0, "indexes": collection.list_indexes()}, 0
+        if "explain" in command:
+            collection = self.server._collection(database_name, command["explain"])
+            if "pipeline" in command:
+                argument: Any = command["pipeline"]
+            else:
+                argument = command.get("query")
+            explain = collection.explain(
+                argument, verbosity=str(command.get("verbosity") or "queryPlanner")
+            )
+            # The backend reports its own surface; the client sees a served one.
+            explain["surface"] = "served"
+            return {"ok": 1.0, "explain": explain}, 0
         if "dropIndexes" in command:
             collection = self.server._collection(database_name, command["dropIndexes"])
             collection.drop_index(str(command["index"]))

@@ -33,7 +33,11 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from ..documentstore.aggregation import run_pipeline, split_pipeline_for_shards
+from ..documentstore.aggregation import (
+    optimize_pipeline,
+    run_pipeline,
+    split_pipeline_for_shards,
+)
 from ..documentstore.bson import document_size
 from ..documentstore.cursor import (
     Cursor,
@@ -43,6 +47,7 @@ from ..documentstore.cursor import (
     UpdateResult,
     project_document,
 )
+from ..documentstore.explain import build_execution_stats, build_explain, validate_verbosity
 from ..documentstore.findspec import FindSpec
 from ..documentstore.objectid import ObjectId
 from ..documentstore.ordering import document_sort_key
@@ -949,6 +954,21 @@ class QueryRouter:
         )
         return next(iter(per_shard.values()))
 
+    def list_indexes(
+        self, database_name: str, collection_name: str
+    ) -> list[dict[str, Any]]:
+        """Structured index specs for the collection (identical on every shard).
+
+        DDL runs on every owning shard, so any one shard's catalog answers
+        the question — the primary (or first) shard is consulted without a
+        fan-out.
+        """
+        if self.config.is_sharded(database_name, collection_name):
+            target = self.config.shard_ids[0]
+        else:
+            target = self.config.primary_shard(database_name)
+        return self._shards[target].collection(database_name, collection_name).list_indexes()
+
     def drop_index(self, database_name: str, collection_name: str, index_name: str) -> None:
         """Drop an index from every shard holding the collection."""
         if self.config.is_sharded(database_name, collection_name):
@@ -1009,12 +1029,26 @@ class QueryRouter:
         shards, otherwise the pipeline is broadcast (Section 4.3's expensive
         case for the analytical queries).  All shard-side pipelines execute
         concurrently through the scatter pool.
+
+        A leading ``$vectorSearch`` runs on every owning shard with the
+        *global* ``k`` (its metadata ``filter`` still targets when it
+        constrains the shard key); the router then re-ranks the union of the
+        per-shard top-k by score and keeps the global top-k, so the merged
+        ranking is exactly what a stand-alone collection would return.
         """
         pipeline = list(pipeline)
+        vector_stage = None
+        if pipeline and "$vectorSearch" in pipeline[0]:
+            # Apply the $vectorSearch+$limit k-lowering before splitting so
+            # every shard scans the lowered k, not the stage's original one.
+            pipeline = optimize_pipeline(pipeline)
+            vector_stage = pipeline[0]["$vectorSearch"]
         shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
         leading_match = None
         if shard_stages and "$match" in shard_stages[0]:
             leading_match = shard_stages[0]["$match"]
+        elif vector_stage is not None and isinstance(vector_stage, Mapping):
+            leading_match = vector_stage.get("filter")
         targets, targeted = self._target_shards(database_name, collection_name, leading_match)
 
         def do_aggregate(shard: Shard) -> list[dict[str, Any]]:
@@ -1041,6 +1075,19 @@ class QueryRouter:
         merged: list[dict[str, Any]] = []
         for shard_id in targets:
             merged.extend(per_shard.get(shard_id, []))
+
+        if vector_stage is not None and isinstance(vector_stage, Mapping):
+            # Each shard returned its local top-k; keep the global top-k,
+            # re-ranked by score (desc) with the same _id tiebreak the
+            # stand-alone engine uses, so sharded results match exactly.
+            k = int(vector_stage.get("k", vector_stage.get("limit") or 0) or 0)
+            score_field = str(vector_stage.get("scoreField") or "_score")
+            id_key = document_sort_key([("_id", 1)])
+            merged.sort(
+                key=lambda doc: (-float(doc.get(score_field, 0.0)), id_key(doc))
+            )
+            if k > 0:
+                merged = merged[:k]
 
         out_target: str | None = None
         if merge_stages and "$out" in merge_stages[-1]:
@@ -1089,10 +1136,16 @@ class QueryRouter:
         makespan and per-shard queue / dispatch / execute / ship timings.
         """
         pipeline = list(pipeline)
+        if pipeline and "$vectorSearch" in pipeline[0]:
+            pipeline = optimize_pipeline(pipeline)
         shard_stages, merge_stages = split_pipeline_for_shards(pipeline)
         leading_match = None
         if shard_stages and "$match" in shard_stages[0]:
             leading_match = shard_stages[0]["$match"]
+        elif shard_stages and "$vectorSearch" in shard_stages[0]:
+            specification = shard_stages[0]["$vectorSearch"]
+            if isinstance(specification, Mapping):
+                leading_match = specification.get("filter")
         targets, targeted = self._target_shards(database_name, collection_name, leading_match)
         shards = {
             shard_id: self._shards[shard_id]
@@ -1251,16 +1304,80 @@ class RoutedCollection:
 
     def explain(
         self,
-        query: Mapping[str, Any] | None = None,
+        query_or_pipeline: Mapping[str, Any] | Sequence[Mapping[str, Any]] | FindSpec | None = None,
         *,
-        execution_stats: bool = False,
+        verbosity: str = "queryPlanner",
     ) -> dict[str, Any]:
-        """Explain a find on the cluster (``Collection.explain`` analogue)."""
-        return self._router.explain_find(
-            self._database_name,
-            self.name,
-            FindSpec(filter=query),
-            execution_stats=execution_stats,
+        """The unified explain entry point (schema v1, ``surface="sharded"``).
+
+        Same signature and document shape as ``Collection.explain`` on a
+        stand-alone deployment: a mapping (or ``None``) explains a find, a
+        sequence of stages explains an aggregation.  ``explain_find`` /
+        ``explain_aggregate`` remain as deprecated aliases returning their
+        historical shapes.
+        """
+        validate_verbosity(verbosity)
+        if isinstance(query_or_pipeline, Sequence) and not isinstance(
+            query_or_pipeline, (str, bytes)
+        ):
+            return self._explain_pipeline(list(query_or_pipeline), verbosity)
+        if isinstance(query_or_pipeline, FindSpec):
+            return self._explain_spec(query_or_pipeline, verbosity)
+        return self._explain_spec(FindSpec(filter=query_or_pipeline), verbosity)
+
+    def _explain_spec(self, spec: FindSpec, verbosity: str) -> dict[str, Any]:
+        legacy = self._router.explain_find(self._database_name, self.name, spec)
+        planner = legacy["queryPlanner"]
+        execution = None
+        if verbosity == "executionStats":
+            results = self._router.execute_find(self._database_name, self.name, spec)
+            execution = build_execution_stats(
+                n_returned=len(results),
+                shards=self._router._execution_stats_section()["shards"],
+            )
+        return build_explain(
+            surface="sharded",
+            operation="find",
+            verbosity=verbosity,
+            namespace=self.full_name,
+            winning_plan=planner["winningPlan"],
+            sort_mode=planner["sortMode"],
+            spec=planner["findSpec"],
+            shards=planner["winningPlan"].get("shards", {}),
+            execution_stats=execution,
+        )
+
+    def _explain_pipeline(
+        self, pipeline: list[Mapping[str, Any]], verbosity: str
+    ) -> dict[str, Any]:
+        legacy = self._router.explain_aggregate(self._database_name, self.name, pipeline)
+        winning_plan = {
+            "stage": "SINGLE_SHARD" if len(legacy["shardsContacted"]) == 1 else "SHARD_MERGE",
+            "targeted": legacy["targeted"],
+            "shardsContacted": list(legacy["shardsContacted"]),
+            "mergeStages": list(legacy["mergeStages"]),
+        }
+        execution = None
+        if verbosity == "executionStats":
+            executed = list(pipeline)
+            if executed and "$out" in executed[-1]:
+                # Explain must not write the $out target.
+                executed = executed[:-1]
+            results = self._router.aggregate(self._database_name, self.name, executed)
+            execution = build_execution_stats(
+                n_returned=len(results),
+                shards=self._router._execution_stats_section()["shards"],
+            )
+        return build_explain(
+            surface="sharded",
+            operation="aggregate",
+            verbosity=verbosity,
+            namespace=self.full_name,
+            winning_plan=winning_plan,
+            sort_mode=None,
+            spec={"pipeline": [dict(stage) for stage in pipeline]},
+            shards=legacy["shards"],
+            execution_stats=execution,
         )
 
     def count_documents(self, query: Mapping[str, Any] | None = None) -> int:
@@ -1310,7 +1427,13 @@ class RoutedCollection:
         )
 
     def create_index(self, keys: Any, *, unique: bool = False, name: str = "") -> str:
+        """Create an index cluster-wide; accepts structured specs like
+        ``{"keys": ["embedding"], "type": "vector", "dims": 8}``."""
         return self._router.create_index(self._database_name, self.name, keys, unique=unique, name=name)
+
+    def list_indexes(self) -> list[dict[str, Any]]:
+        """Structured index specs (``Collection.list_indexes`` analogue)."""
+        return self._router.list_indexes(self._database_name, self.name)
 
     def drop_index(self, index_name: str) -> None:
         self._router.drop_index(self._database_name, self.name, index_name)

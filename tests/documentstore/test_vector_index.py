@@ -1,0 +1,303 @@
+"""Vector index: structured specs, maintenance protocol, exact and IVF search."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.documentstore import (
+    DocumentStoreClient,
+    IndexSpec,
+    OperationFailure,
+    VectorIndex,
+    vector_score,
+)
+
+
+def make_collection():
+    return DocumentStoreClient()["db"]["items"]
+
+
+def embedding_docs(n, dims=4):
+    return [
+        {"_id": i, "embedding": [float((i * 7 + axis * 3) % 13) for axis in range(dims)], "tag": i % 3}
+        for i in range(n)
+    ]
+
+
+def reference_topk(documents, query, k, metric="cosine", field="embedding"):
+    """Brute-force reference ranking, independent of the index internals."""
+    query_norm = math.sqrt(sum(x * x for x in query))
+    scored = []
+    for doc in documents:
+        vector = doc.get(field)
+        if vector is None:
+            continue
+        norm = math.sqrt(sum(x * x for x in vector))
+        score = vector_score(metric, query, query_norm, vector, norm)
+        scored.append((-score, doc["_id"], doc))
+    scored.sort(key=lambda entry: (entry[0], entry[1]))
+    return [(doc["_id"], -negated) for negated, _id, doc in scored[:k]]
+
+
+# ---------------------------------------------------------------- spec shapes
+
+
+class TestStructuredSpecs:
+    def test_structured_btree_spec(self):
+        spec = IndexSpec.from_key_specification(
+            {"keys": [["store", 1], ["amount", -1]], "type": "btree", "unique": True}
+        )
+        assert spec.keys == (("store", 1), ("amount", -1))
+        assert spec.unique is True
+        assert spec.type == "btree"
+
+    def test_structured_vector_spec_and_describe_roundtrip(self):
+        spec = IndexSpec.from_key_specification(
+            {"keys": ["embedding"], "type": "vector", "dims": 8, "metric": "l2", "nlist": 32}
+        )
+        assert spec.is_vector
+        assert spec.dims == 8
+        assert spec.metric == "l2"
+        assert spec.nlist == 32
+        assert spec.name == "embedding_vector"
+        rebuilt = IndexSpec.from_key_specification(spec.describe())
+        assert rebuilt == spec
+
+    def test_btree_describe_roundtrip(self):
+        spec = IndexSpec.from_key_specification([("a", 1), ("b", -1)], unique=True)
+        assert IndexSpec.from_key_specification(spec.describe()) == spec
+
+    def test_vector_spec_requires_dims(self):
+        with pytest.raises(OperationFailure, match="dims"):
+            IndexSpec.from_key_specification({"keys": ["embedding"], "type": "vector"})
+
+    def test_vector_spec_rejects_unique(self):
+        with pytest.raises(OperationFailure):
+            IndexSpec.from_key_specification(
+                {"keys": ["embedding"], "type": "vector", "dims": 4, "unique": True}
+            )
+
+    def test_vector_spec_rejects_unknown_metric(self):
+        with pytest.raises(OperationFailure, match="metric"):
+            IndexSpec.from_key_specification(
+                {"keys": ["embedding"], "type": "vector", "dims": 4, "metric": "dot"}
+            )
+
+    def test_vector_spec_single_key_only(self):
+        with pytest.raises(OperationFailure):
+            IndexSpec.from_key_specification(
+                {"keys": ["a", "b"], "type": "vector", "dims": 4}
+            )
+
+    def test_unknown_structured_field_rejected(self):
+        with pytest.raises(OperationFailure, match="bogus"):
+            IndexSpec.from_key_specification({"keys": ["a"], "bogus": 1})
+
+    def test_btree_spec_rejects_vector_options(self):
+        with pytest.raises(OperationFailure):
+            IndexSpec.from_key_specification({"keys": ["a"], "type": "btree", "dims": 4})
+
+    def test_legacy_sugar_still_works(self):
+        collection = make_collection()
+        assert collection.create_index("store") == "store_1"
+        assert collection.create_index([("a", 1), ("b", -1)]) == "a_1_b_-1"
+
+
+class TestCollectionCatalog:
+    def test_create_and_list_vector_index(self):
+        collection = make_collection()
+        collection.insert_many(embedding_docs(10))
+        name = collection.create_index(
+            {"keys": ["embedding"], "type": "vector", "dims": 4, "metric": "cosine"}
+        )
+        assert name == "embedding_vector"
+        specs = {spec["name"]: spec for spec in collection.list_indexes()}
+        assert specs["embedding_vector"]["type"] == "vector"
+        assert specs["embedding_vector"]["dims"] == 4
+        assert specs["embedding_vector"]["metric"] == "cosine"
+        assert specs["_id_"]["type"] == "btree"
+        info = collection.index_information()["embedding_vector"]
+        assert info["type"] == "vector"
+        assert info["dims"] == 4
+
+    def test_vector_index_never_serves_finds(self):
+        collection = make_collection()
+        collection.insert_many(embedding_docs(10))
+        collection.create_index({"keys": ["embedding"], "type": "vector", "dims": 4})
+        plan = collection.explain({"embedding": [1.0, 2.0, 3.0, 4.0]})
+        assert plan["queryPlanner"]["winningPlan"]["stage"] == "COLLSCAN"
+
+
+# ------------------------------------------------------------- maintenance
+
+
+class TestMaintenance:
+    def build(self, n=20):
+        collection = make_collection()
+        collection.insert_many(embedding_docs(n))
+        collection.create_index({"keys": ["embedding"], "type": "vector", "dims": 4})
+        return collection
+
+    def search_ids(self, collection, query, k):
+        results = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": query, "k": k}}]
+        )
+        return [doc["_id"] for doc in results]
+
+    def test_insert_update_delete_maintain_index(self):
+        collection = self.build()
+        query = [100.0, 100.0, 100.0, 100.0]
+        collection.insert_one({"_id": 999, "embedding": [100.0, 100.0, 100.0, 100.0]})
+        assert self.search_ids(collection, query, 1) == [999]
+        collection.update_one({"_id": 999}, {"$set": {"embedding": [-1.0, 0.0, 0.0, 0.0]}})
+        assert self.search_ids(collection, query, 1) != [999]
+        collection.delete_many({"_id": 999})
+        assert 999 not in self.search_ids(collection, query, 25)
+
+    def test_documents_without_embedding_are_skipped(self):
+        collection = self.build(5)
+        collection.insert_one({"_id": 1000, "tag": 0})
+        assert 1000 not in self.search_ids(collection, [1.0, 0.0, 0.0, 0.0], 10)
+
+    def test_malformed_embedding_rejected_and_rolled_back(self):
+        collection = self.build(5)
+        before = collection.count_documents()
+        with pytest.raises(OperationFailure):
+            collection.insert_many(
+                [
+                    {"_id": 2000, "embedding": [1.0, 2.0, 3.0, 4.0]},
+                    {"_id": 2001, "embedding": [1.0, 2.0]},  # wrong dims
+                ]
+            )
+        assert collection.count_documents() == before
+        assert 2000 not in self.search_ids(collection, [1.0, 2.0, 3.0, 4.0], 10)
+
+    def test_malformed_update_leaves_old_entry(self):
+        collection = self.build(5)
+        with pytest.raises(OperationFailure):
+            collection.update_one({"_id": 0}, {"$set": {"embedding": "nope"}})
+        assert 0 in self.search_ids(collection, [0.0, 3.0, 6.0, 9.0], 5)
+
+    def test_deferred_build_via_bulk_load(self):
+        collection = make_collection()
+        with collection.bulk_load():
+            collection.create_index(
+                {"keys": ["embedding"], "type": "vector", "dims": 4}, defer=True
+            )
+            collection.insert_many(embedding_docs(30))
+        assert len(self.search_ids(collection, [1.0, 1.0, 1.0, 1.0], 5)) == 5
+
+
+# ------------------------------------------------------------------ search
+
+
+class TestExactSearch:
+    def test_exact_topk_matches_reference(self):
+        documents = embedding_docs(50)
+        collection = make_collection()
+        collection.insert_many(documents)
+        collection.create_index({"keys": ["embedding"], "type": "vector", "dims": 4})
+        query = [3.0, 1.0, 4.0, 1.0]
+        results = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": query, "k": 7}}]
+        )
+        expected = reference_topk(documents, query, 7)
+        assert [(doc["_id"], doc["_score"]) for doc in results] == expected
+
+    def test_l2_metric_matches_reference(self):
+        documents = embedding_docs(40)
+        collection = make_collection()
+        collection.insert_many(documents)
+        collection.create_index(
+            {"keys": ["embedding"], "type": "vector", "dims": 4, "metric": "l2"}
+        )
+        query = [5.0, 5.0, 5.0, 5.0]
+        results = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": query, "k": 5}}]
+        )
+        expected = reference_topk(documents, query, 5, metric="l2")
+        assert [(doc["_id"], doc["_score"]) for doc in results] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vectors=st.lists(
+            st.lists(
+                st.floats(min_value=-50, max_value=50, allow_nan=False, width=32),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        query=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False, width=32),
+            min_size=3,
+            max_size=3,
+        ),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_exact_search_equals_reference_property(self, vectors, query, k):
+        spec = IndexSpec.from_key_specification(
+            {"keys": ["embedding"], "type": "vector", "dims": 3}
+        )
+        index = VectorIndex(spec)
+        documents = [{"_id": i, "embedding": vector} for i, vector in enumerate(vectors)]
+        for i, doc in enumerate(documents):
+            index.insert(doc, i)
+        ranked, scored = index.search(query, k, exact=True)
+        assert scored == len(vectors)
+        expected = reference_topk(documents, query, k)
+        assert [(doc_id, score) for doc_id, score in ranked] == expected
+
+
+class TestIVF:
+    def build_trained(self, n=600, dims=4):
+        collection = make_collection()
+        collection.insert_many(embedding_docs(n, dims))
+        collection.create_index(
+            {"keys": ["embedding"], "type": "vector", "dims": dims}
+        )
+        index = collection._live_indexes()["embedding_vector"]
+        assert index.trained, "rebuild over >=256 vectors must train IVF"
+        return collection, index
+
+    def test_training_is_deterministic(self):
+        _collection1, index1 = self.build_trained()
+        _collection2, index2 = self.build_trained()
+        assert index1._centroids == index2._centroids
+        assert index1._lists == index2._lists
+
+    def test_full_probe_equals_exact(self):
+        collection, index = self.build_trained()
+        query = [6.0, 2.0, 8.0, 3.0]
+        exact, _ = index.search(query, 10, exact=True)
+        approximate, _ = index.search(query, 10, nprobe=index.nlist)
+        assert approximate == exact
+
+    def test_ivf_scores_fewer_vectors(self):
+        collection, index = self.build_trained()
+        query = [6.0, 2.0, 8.0, 3.0]
+        _, scored_exact = index.search(query, 10, exact=True)
+        _, scored_ivf = index.search(query, 10, nprobe=1)
+        assert scored_exact == len(index)
+        assert scored_ivf < scored_exact
+
+    def test_prefiltered_search_is_exact_over_subset(self):
+        collection, index = self.build_trained()
+        allowed = set(sorted(index._vectors)[:50])  # internal doc ids
+        ranked, scored = index.search([1.0, 1.0, 1.0, 1.0], 5, allowed_ids=allowed)
+        assert scored == len(allowed)
+        assert all(doc_id in allowed for doc_id, _score in ranked)
+
+    def test_small_collections_stay_untrained(self):
+        collection = make_collection()
+        collection.insert_many(embedding_docs(20))
+        collection.create_index({"keys": ["embedding"], "type": "vector", "dims": 4})
+        index = collection._live_indexes()["embedding_vector"]
+        assert not index.trained
+        assert index.train() is False
+        assert index.train(force=True) is True

@@ -1,0 +1,240 @@
+"""The ``$vectorSearch`` aggregation stage and its optimizer fusion rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documentstore import (
+    DocumentStoreClient,
+    InvalidPipelineError,
+    OperationFailure,
+    optimize_pipeline,
+)
+
+DIMS = 3
+
+
+def build_collection(n=40):
+    collection = DocumentStoreClient()["db"]["docs"]
+    collection.insert_many(
+        [
+            {
+                "_id": i,
+                "embedding": [float(i % 10), float(i % 7), float(i % 5)],
+                "tenant": i % 4,
+                "score_hint": i,
+            }
+            for i in range(n)
+        ]
+    )
+    collection.create_index({"keys": ["embedding"], "type": "vector", "dims": DIMS})
+    return collection
+
+
+QUERY = [9.0, 6.0, 4.0]
+
+
+class TestStage:
+    def test_returns_scored_documents_best_first(self):
+        collection = build_collection()
+        results = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": QUERY, "k": 5}}]
+        )
+        assert len(results) == 5
+        scores = [doc["_score"] for doc in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all("embedding" in doc for doc in results)
+
+    def test_stage_composes_with_downstream_stages(self):
+        collection = build_collection()
+        results = collection.aggregate(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 10}},
+                {"$match": {"tenant": 1}},
+                {"$project": {"_id": 1, "tenant": 1, "_score": 1}},
+            ]
+        )
+        assert results
+        assert all(doc["tenant"] == 1 for doc in results)
+        assert all(set(doc) == {"_id", "tenant", "_score"} for doc in results)
+
+    def test_prefilter_restricts_candidates(self):
+        collection = build_collection()
+        results = collection.aggregate(
+            [
+                {
+                    "$vectorSearch": {
+                        "queryVector": QUERY,
+                        "k": 40,
+                        "filter": {"tenant": 2},
+                    }
+                }
+            ]
+        )
+        assert results
+        assert all(doc["tenant"] == 2 for doc in results)
+        # Pre-filter semantics: full k is taken from the filtered set, not
+        # filtered from the global top-k.
+        assert len(results) == collection.count_documents({"tenant": 2})
+
+    def test_prefilter_uses_secondary_index(self):
+        collection = build_collection()
+        collection.create_index("tenant")
+        explain = collection.explain(
+            [
+                {
+                    "$vectorSearch": {
+                        "queryVector": QUERY,
+                        "k": 5,
+                        "filter": {"tenant": 2},
+                    }
+                }
+            ]
+        )
+        details = explain["queryPlanner"]["winningPlan"]["vectorSearch"]
+        assert details["mode"] == "filteredExact"
+        assert details["filterPlan"] == "IXSCAN"
+
+    def test_score_field_override(self):
+        collection = build_collection()
+        results = collection.aggregate(
+            [
+                {
+                    "$vectorSearch": {
+                        "queryVector": QUERY,
+                        "k": 3,
+                        "scoreField": "similarity",
+                    }
+                }
+            ]
+        )
+        assert all("similarity" in doc and "_score" not in doc for doc in results)
+
+    def test_stored_documents_not_mutated(self):
+        collection = build_collection()
+        collection.aggregate([{"$vectorSearch": {"queryVector": QUERY, "k": 5}}])
+        assert all("_score" not in doc for doc in collection.find())
+
+    def test_must_be_first_stage(self):
+        collection = build_collection()
+        with pytest.raises(InvalidPipelineError):
+            collection.aggregate(
+                [
+                    {"$match": {"tenant": 1}},
+                    {"$vectorSearch": {"queryVector": QUERY, "k": 5}},
+                ]
+            )
+
+    def test_requires_vector_index(self):
+        collection = DocumentStoreClient()["db"]["bare"]
+        collection.insert_many([{"_id": 1, "embedding": [1.0, 2.0, 3.0]}])
+        with pytest.raises(OperationFailure, match="vector index"):
+            collection.aggregate([{"$vectorSearch": {"queryVector": QUERY, "k": 1}}])
+
+    def test_unknown_option_rejected(self):
+        collection = build_collection()
+        with pytest.raises(OperationFailure, match="numCandidates"):
+            collection.aggregate(
+                [
+                    {
+                        "$vectorSearch": {
+                            "queryVector": QUERY,
+                            "k": 1,
+                            "numCandidates": 100,
+                        }
+                    }
+                ]
+            )
+
+    def test_index_selection_by_name_and_path(self):
+        collection = build_collection()
+        collection.create_index(
+            {"keys": ["score_hint_embedding"], "type": "vector", "dims": DIMS, "name": "other_vec"}
+        )
+        with pytest.raises(OperationFailure, match="multiple vector indexes"):
+            collection.aggregate([{"$vectorSearch": {"queryVector": QUERY, "k": 1}}])
+        by_name = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": QUERY, "k": 1, "index": "embedding_vector"}}]
+        )
+        by_path = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": QUERY, "k": 1, "path": "embedding"}}]
+        )
+        assert by_name == by_path
+        with pytest.raises(OperationFailure, match="not a usable vector index"):
+            collection.aggregate(
+                [{"$vectorSearch": {"queryVector": QUERY, "k": 1, "index": "nope"}}]
+            )
+
+
+class TestLimitFusion:
+    """Regression tests: $vectorSearch -> $limit fuses like $sort -> $limit."""
+
+    def spec_of(self, pipeline):
+        return optimize_pipeline(pipeline)[0]["$vectorSearch"]
+
+    def test_limit_lowers_k(self):
+        optimized = self.spec_of(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 100}},
+                {"$limit": 5},
+            ]
+        )
+        assert optimized["k"] == 5
+
+    def test_skip_plus_limit_lowers_k(self):
+        optimized = self.spec_of(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 100}},
+                {"$skip": 2},
+                {"$limit": 5},
+            ]
+        )
+        assert optimized["k"] == 7
+
+    def test_smaller_existing_k_is_not_raised(self):
+        optimized = self.spec_of(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 3}},
+                {"$limit": 50},
+            ]
+        )
+        assert optimized["k"] == 3
+
+    def test_intervening_match_blocks_fusion(self):
+        optimized = self.spec_of(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 100}},
+                {"$match": {"tenant": 1}},
+                {"$limit": 5},
+            ]
+        )
+        assert optimized["k"] == 100
+
+    def test_fused_results_match_unfused(self):
+        collection = build_collection()
+        fused = collection.aggregate(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 40}},
+                {"$limit": 5},
+            ]
+        )
+        unfused = collection.aggregate(
+            [{"$vectorSearch": {"queryVector": QUERY, "k": 40}}]
+        )[:5]
+        assert fused == unfused
+
+    def test_fusion_visible_in_explain_counters(self):
+        collection = build_collection()
+        explain = collection.explain(
+            [
+                {"$vectorSearch": {"queryVector": QUERY, "k": 40}},
+                {"$limit": 5},
+            ],
+            verbosity="executionStats",
+        )
+        details = explain["queryPlanner"]["winningPlan"]["vectorSearch"]
+        assert details["k"] == 5
+        stage_stats = {
+            entry["stage"]: entry for entry in explain["executionStats"]["stages"]
+        }
+        assert stage_stats["$vectorSearch"]["docsReturned"] == 5

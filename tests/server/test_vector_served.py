@@ -1,0 +1,149 @@
+"""Vector search and the unified explain over the wire protocol.
+
+Serves a stand-alone backend so the three-surface parity chain closes:
+``test_vector_sharded`` proves standalone == sharded, and this module
+proves standalone == served (identical top-k, identical explain schema).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documentstore import (
+    EXECUTION_KEYS,
+    PLANNER_KEYS,
+    TOP_LEVEL_KEYS,
+    DocumentStoreClient,
+    OperationFailure,
+)
+from repro.server import DocumentStoreServer, RemoteClient
+
+DIMS = 4
+
+DOCS = [
+    {
+        "_id": i,
+        "embedding": [float((i * 11 + axis * 3) % 19) for axis in range(DIMS)],
+        "tenant": i % 3,
+    }
+    for i in range(150)
+]
+
+VECTOR_SPEC = {"keys": ["embedding"], "type": "vector", "dims": DIMS}
+
+QUERY = [4.0, 12.0, 1.0, 8.0]
+
+
+@pytest.fixture()
+def backend():
+    client = DocumentStoreClient()
+    client["rag"]["chunks"].insert_many(DOCS)
+    return client
+
+
+@pytest.fixture()
+def server(backend):
+    with DocumentStoreServer(backend, port=0) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(server):
+    with RemoteClient(server.address, pool_size=2) as client:
+        yield client
+
+
+@pytest.fixture()
+def remote(client):
+    return client["rag"]["chunks"]
+
+
+@pytest.fixture()
+def standalone(backend, remote):
+    # The remote DDL lands on this same backend; create the index over the
+    # wire so the served DDL path is what builds it.
+    remote.create_index(VECTOR_SPEC)
+    return backend["rag"]["chunks"]
+
+
+class TestServedDDL:
+    def test_structured_create_index_round_trips(self, remote, standalone):
+        specs = {spec["name"]: spec for spec in remote.list_indexes()}
+        assert specs["embedding_vector"]["type"] == "vector"
+        assert specs["embedding_vector"]["dims"] == DIMS
+        assert remote.list_indexes() == standalone.list_indexes()
+
+    def test_legacy_create_index_still_works(self, remote):
+        assert remote.create_index([("tenant", 1)]) == "tenant_1"
+
+
+class TestServedVectorSearch:
+    def test_topk_matches_standalone(self, remote, standalone):
+        pipeline = [{"$vectorSearch": {"queryVector": QUERY, "k": 9}}]
+        assert remote.aggregate(pipeline) == standalone.aggregate(pipeline)
+
+    def test_prefiltered_matches_standalone(self, remote, standalone):
+        pipeline = [
+            {
+                "$vectorSearch": {
+                    "queryVector": QUERY,
+                    "k": 6,
+                    "filter": {"tenant": 0},
+                }
+            }
+        ]
+        results = remote.aggregate(pipeline)
+        assert results == standalone.aggregate(pipeline)
+        assert all(doc["tenant"] == 0 for doc in results)
+
+    def test_streamed_aggregate_matches_monolithic(self, server, remote, standalone):
+        pipeline = [{"$vectorSearch": {"queryVector": QUERY, "k": 50}}]
+        opened_before = server.stats.snapshot()["cursors"]["opened"]
+        streamed = remote.aggregate(pipeline, batch_size=7)
+        assert streamed == standalone.aggregate(pipeline)
+        # The batched reply path registered (and exhausted) a server cursor.
+        stats = server.stats.snapshot()["cursors"]
+        assert stats["opened"] == opened_before + 1
+
+    def test_streamed_aggregate_without_cursor_for_small_results(
+        self, server, remote, standalone
+    ):
+        opened_before = server.stats.snapshot()["cursors"]["opened"]
+        results = remote.aggregate(
+            [{"$vectorSearch": {"queryVector": QUERY, "k": 3}}], batch_size=10
+        )
+        assert len(results) == 3
+        assert server.stats.snapshot()["cursors"]["opened"] == opened_before
+
+    def test_server_error_propagates(self, remote, standalone):
+        with pytest.raises(OperationFailure, match="queryVector"):
+            remote.aggregate([{"$vectorSearch": {"k": 3}}])
+
+
+class TestServedExplain:
+    def test_unified_find_schema(self, remote, standalone):
+        served = remote.explain({"tenant": 1}, verbosity="executionStats")
+        local = standalone.explain({"tenant": 1}, verbosity="executionStats")
+        assert set(served) == set(TOP_LEVEL_KEYS) | {"executionStats"}
+        assert served["surface"] == "served"
+        assert set(served["queryPlanner"]) == set(PLANNER_KEYS)
+        assert EXECUTION_KEYS <= set(served["executionStats"])
+        # Identical schema — and identical plan — to the stand-alone surface.
+        assert set(served) == set(local)
+        assert served["queryPlanner"]["winningPlan"] == local["queryPlanner"]["winningPlan"]
+        assert served["executionStats"]["nReturned"] == local["executionStats"]["nReturned"]
+
+    def test_unified_aggregate_schema(self, remote, standalone):
+        pipeline = [{"$vectorSearch": {"queryVector": QUERY, "k": 5}}]
+        served = remote.explain(pipeline, verbosity="executionStats")
+        local = standalone.explain(pipeline, verbosity="executionStats")
+        assert served["surface"] == "served"
+        assert served["operation"] == "aggregate"
+        assert set(served) == set(local)
+        assert served["executionStats"]["nReturned"] == 5
+        plan = served["queryPlanner"]["winningPlan"]
+        assert plan["stage"] == "VECTOR_SEARCH"
+
+    def test_unknown_verbosity_rejected_over_the_wire(self, remote, standalone):
+        with pytest.raises(OperationFailure, match="verbosity"):
+            remote.explain({}, verbosity="nope")
